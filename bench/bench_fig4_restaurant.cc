@@ -1,0 +1,48 @@
+// E4 / Figure 4b: fusion results, PR-curves, and ROC-curves on the
+// simulated RESTAURANT dataset (7 high-precision aggregators, 93-triple
+// gold standard).
+//
+// Paper shape to reproduce: most methods do well; LTM and UNION-25 are
+// comparable to PRECREC on F1, but PRECRECCORR gives the best
+// truthfulness estimates (PR/ROC curves and AUCs).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "synth/paper_datasets.h"
+
+namespace fuser {
+namespace {
+
+void PrintFigure4b() {
+  auto dataset = MakeRestaurantDataset(42);
+  FUSER_CHECK(dataset.ok()) << dataset.status();
+  auto results = bench::RunMethods(*dataset, bench::PaperMethodLineup());
+  bench::PrintResultsTable("Figure 4b: RESTAURANT (simulated)", results);
+  std::printf("(paper shape: high quality across methods; precrec-corr "
+              "best AUCs; 3estimates recall collapses)\n");
+  bench::PrintCurvesForMethods(*dataset,
+                               {"union-50", "ltm", "precrec",
+                                "precrec-corr"});
+}
+
+void BM_RestaurantAllMethods(benchmark::State& state) {
+  auto dataset = MakeRestaurantDataset(42);
+  FUSER_CHECK(dataset.ok());
+  FusionEngine engine(&*dataset, {});
+  FUSER_CHECK(engine.Prepare(dataset->labeled_mask()).ok());
+  for (auto _ : state) {
+    auto run = engine.Run({MethodKind::kPrecRecCorr});
+    benchmark::DoNotOptimize(run);
+  }
+}
+BENCHMARK(BM_RestaurantAllMethods)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fuser
+
+int main(int argc, char** argv) {
+  fuser::PrintFigure4b();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E7 / Figure 5b: runtime of every method on the three simulated datasets.
+//
+// Paper shape to reproduce (relative ordering, not absolute seconds):
+// UNION-K fastest; 3-ESTIMATES and PRECREC next; LTM markedly slower;
+// PRECRECCORR the slowest exact method; elastic level-3 substantially
+// cheaper than exact while matching its quality (Figure 5a).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "synth/paper_datasets.h"
+
+namespace fuser {
+namespace {
+
+struct DatasetEntry {
+  std::string name;
+  const Dataset* dataset;
+  EngineOptions options;
+};
+
+void PrintFigure5b() {
+  auto reverb = MakeReverbDataset(42);
+  auto restaurant = MakeRestaurantDataset(42);
+  auto book = MakeBookDataset(42);
+  FUSER_CHECK(reverb.ok());
+  FUSER_CHECK(restaurant.ok());
+  FUSER_CHECK(book.ok());
+
+  EngineOptions default_options;
+  // Paper's LTM budget: 10 iterations on the big dataset.
+  EngineOptions book_options;
+  book_options.model.enable_clustering = true;
+  book_options.model.clustering.max_cluster_size = 20;
+  book_options.model.use_scopes = true;
+  book_options.ltm.burn_in = 5;
+  book_options.ltm.samples = 5;
+
+  std::vector<DatasetEntry> datasets = {
+      {"reverb", &*reverb, default_options},
+      {"restaurant", &*restaurant, default_options},
+      {"book", &*book, book_options},
+  };
+  std::vector<std::string> methods = {
+      "union-25", "union-50", "union-75", "3estimates", "cosine",
+      "ltm",      "precrec",  "precrec-corr", "elastic-3"};
+
+  std::printf("\n== Figure 5b: runtimes in seconds ==\n");
+  std::printf("%-14s %10s %12s %10s\n", "method", "reverb", "restaurant",
+              "book");
+  std::vector<std::vector<double>> times(methods.size(),
+                                         std::vector<double>(3, 0.0));
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    FusionEngine engine(datasets[d].dataset, datasets[d].options);
+    FUSER_CHECK(
+        engine.Prepare(datasets[d].dataset->labeled_mask()).ok());
+    // Build the model outside the timed region (shared offline step).
+    FUSER_CHECK(engine.GetModel().ok());
+    for (size_t m = 0; m < methods.size(); ++m) {
+      auto spec = ParseMethodSpec(methods[m]);
+      FUSER_CHECK(spec.ok());
+      auto run = engine.Run(*spec);
+      FUSER_CHECK(run.ok()) << methods[m] << ": " << run.status();
+      times[m][d] = run->seconds;
+    }
+  }
+  for (size_t m = 0; m < methods.size(); ++m) {
+    std::printf("%-14s %10.4f %12.4f %10.4f\n", methods[m].c_str(),
+                times[m][0], times[m][1], times[m][2]);
+  }
+  std::printf("(paper shape: union fastest; ltm slowest of the baselines; "
+              "precrec-corr most expensive, elastic-3 cheaper)\n");
+}
+
+void BM_Noop(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(state.iterations());
+  }
+}
+BENCHMARK(BM_Noop);
+
+}  // namespace
+}  // namespace fuser
+
+int main(int argc, char** argv) {
+  fuser::PrintFigure5b();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// A3: scaling of the inference algorithms with the number of triples and
+// sources, and of the elastic approximation with its level (the
+// O(m * n^lambda) claim of Proposition 4.11).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "synth/generator.h"
+
+namespace fuser {
+namespace {
+
+StatusOr<Dataset> MakeScaled(size_t sources, size_t triples) {
+  SyntheticConfig config = MakeIndependentConfig(
+      sources, triples, 0.35, 0.6, std::min(0.4, 8.0 / sources), 17);
+  if (sources >= 4) {
+    config.groups_true = {{{0, 1, 2, 3}, 0.8}};
+  }
+  return GenerateSynthetic(config);
+}
+
+void BM_PrecRecTriples(benchmark::State& state) {
+  auto dataset = MakeScaled(6, static_cast<size_t>(state.range(0)));
+  FUSER_CHECK(dataset.ok());
+  FusionEngine engine(&*dataset, {});
+  FUSER_CHECK(engine.Prepare(dataset->labeled_mask()).ok());
+  for (auto _ : state) {
+    auto run = engine.Run({MethodKind::kPrecRec});
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PrecRecTriples)
+    ->RangeMultiplier(4)
+    ->Range(1000, 64000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+
+void BM_PrecRecCorrTriples(benchmark::State& state) {
+  auto dataset = MakeScaled(6, static_cast<size_t>(state.range(0)));
+  FUSER_CHECK(dataset.ok());
+  FusionEngine engine(&*dataset, {});
+  FUSER_CHECK(engine.Prepare(dataset->labeled_mask()).ok());
+  FUSER_CHECK(engine.GetModel().ok());
+  for (auto _ : state) {
+    auto run = engine.Run({MethodKind::kPrecRecCorr});
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PrecRecCorrTriples)
+    ->RangeMultiplier(4)
+    ->Range(1000, 64000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+
+void BM_PrecRecCorrSources(benchmark::State& state) {
+  auto dataset =
+      MakeScaled(static_cast<size_t>(state.range(0)), 4000);
+  FUSER_CHECK(dataset.ok());
+  FusionEngine engine(&*dataset, {});
+  FUSER_CHECK(engine.Prepare(dataset->labeled_mask()).ok());
+  FUSER_CHECK(engine.GetModel().ok());
+  for (auto _ : state) {
+    auto run = engine.Run({MethodKind::kPrecRecCorr});
+    benchmark::DoNotOptimize(run);
+  }
+}
+BENCHMARK(BM_PrecRecCorrSources)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ElasticLevelScaling(benchmark::State& state) {
+  auto dataset = MakeScaled(10, 4000);
+  FUSER_CHECK(dataset.ok());
+  FusionEngine engine(&*dataset, {});
+  FUSER_CHECK(engine.Prepare(dataset->labeled_mask()).ok());
+  FUSER_CHECK(engine.GetModel().ok());
+  MethodSpec spec{MethodKind::kElastic};
+  spec.elastic_level = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto run = engine.Run(spec);
+    benchmark::DoNotOptimize(run);
+  }
+}
+BENCHMARK(BM_ElasticLevelScaling)
+    ->DenseRange(0, 8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AggressiveTriples(benchmark::State& state) {
+  auto dataset = MakeScaled(6, static_cast<size_t>(state.range(0)));
+  FUSER_CHECK(dataset.ok());
+  FusionEngine engine(&*dataset, {});
+  FUSER_CHECK(engine.Prepare(dataset->labeled_mask()).ok());
+  FUSER_CHECK(engine.GetModel().ok());
+  for (auto _ : state) {
+    auto run = engine.Run({MethodKind::kAggressive});
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AggressiveTriples)
+    ->RangeMultiplier(4)
+    ->Range(1000, 64000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace fuser
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Knowledge-extraction scenario: several extractors with shared extraction
+// patterns process a web corpus; we train on half the gold standard and
+// fuse the rest (the REVERB workload of the paper's intro).
+//
+// Demonstrates: synthetic workload generation with correlation groups,
+// train/test splits, ranking quality (AUCs), and exporting fused triples.
+//
+//   $ ./knowledge_extraction [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/engine.h"
+#include "model/split.h"
+#include "stats/curves.h"
+#include "synth/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace fuser;
+  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  // Six extractors over ~3000 candidate triples; extractors a+b share
+  // patterns (correlated on true triples), c+d make the same mistakes
+  // (correlated on false triples).
+  SyntheticConfig config =
+      MakeIndependentConfig(6, 3000, 0.35, 0.6, 0.4, seed);
+  config.sources[0].name = "pattern-extractor-a";
+  config.sources[1].name = "pattern-extractor-b";
+  config.sources[2].name = "ml-extractor-c";
+  config.sources[3].name = "ml-extractor-d";
+  config.sources[4].name = "rule-extractor-e";
+  config.sources[5].name = "infobox-extractor-f";
+  config.groups_true = {{{0, 1}, 0.85}};
+  config.groups_false = {{{2, 3}, 0.85}};
+  auto dataset = GenerateSynthetic(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("corpus: %zu extracted triples, %zu labeled (%zu true)\n",
+              dataset->num_triples(), dataset->num_labeled(),
+              dataset->num_true());
+
+  // Train on half the gold standard, evaluate on the held-out half.
+  Rng rng(seed);
+  auto split = StratifiedSplit(*dataset, 0.5, &rng);
+  FusionEngine engine(&*dataset, {});
+  Status prepared = engine.Prepare(split->train);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "%s\n", prepared.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%-14s %9s %9s %9s %9s %9s\n", "method", "precision",
+              "recall", "F1", "AUC-PR", "AUC-ROC");
+  for (const char* method :
+       {"union-25", "union-50", "3estimates", "ltm", "precrec",
+        "precrec-corr"}) {
+    auto spec = ParseMethodSpec(method);
+    auto eval = engine.RunAndEvaluate(*spec, split->test);
+    if (!eval.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", method,
+                   eval.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-14s %9.3f %9.3f %9.3f %9.3f %9.3f\n", method,
+                eval->precision, eval->recall, eval->f1, eval->auc_pr,
+                eval->auc_roc);
+  }
+
+  // Export the cleaned triple set chosen by the best method.
+  auto run = engine.Run(*ParseMethodSpec("precrec-corr"));
+  size_t kept = 0;
+  for (TripleId t = 0; t < dataset->num_triples(); ++t) {
+    if (run->scores[t] >= 0.5) ++kept;
+  }
+  std::printf("\nprecrec-corr keeps %zu of %zu extracted triples\n", kept,
+              dataset->num_triples());
+  return 0;
+}

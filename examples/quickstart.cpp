@@ -1,0 +1,74 @@
+// Quickstart: build a tiny dataset by hand, estimate source quality, and
+// compare independent vs correlation-aware fusion.
+//
+// This reproduces the paper's motivating example (Figure 1): ten knowledge
+// triples about Barack Obama extracted by five extraction systems, four of
+// which share patterns or copy from each other.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/engine.h"
+#include "model/split.h"
+#include "synth/motivating_example.h"
+
+int main() {
+  using namespace fuser;
+
+  // 1. Build a dataset: sources provide triples; gold labels mark which
+  //    triples are actually true. (MakeMotivatingExample() assembles the
+  //    Figure 1 grid; building your own works the same way:
+  //      Dataset d;
+  //      SourceId s = d.AddSource("extractor-1");
+  //      TripleId t = d.AddTriple({"Obama", "profession", "president"});
+  //      d.Provide(s, t);
+  //      d.SetLabel(t, true);
+  //      d.Finalize();
+  Dataset dataset = MakeMotivatingExample();
+  std::printf("dataset: %zu sources, %zu triples (%zu true)\n",
+              dataset.num_sources(), dataset.num_triples(),
+              dataset.num_true());
+
+  // 2. Create an engine and estimate parameters from the gold standard.
+  EngineOptions options;
+  options.model.alpha = 0.5;  // a priori probability that a triple is true
+  FusionEngine engine(&dataset, options);
+  Status prepared = engine.Prepare(FullGoldSplit(dataset).train);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "Prepare failed: %s\n",
+                 prepared.ToString().c_str());
+    return 1;
+  }
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    const SourceQuality& q = engine.source_quality()[s];
+    std::printf("  %s: precision=%.2f recall=%.2f fpr=%.2f (%s source)\n",
+                dataset.source_name(s).c_str(), q.precision, q.recall,
+                q.fpr, q.IsGood() ? "good" : "bad");
+  }
+
+  // 3. Run fusion methods and compare.
+  for (const char* method : {"union-50", "precrec", "precrec-corr"}) {
+    auto spec = ParseMethodSpec(method);
+    auto run = engine.Run(*spec);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", method,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    auto eval = engine.Evaluate(*run, dataset.labeled_mask());
+    std::printf("\n%s: precision=%.2f recall=%.2f F1=%.2f\n", method,
+                eval->precision, eval->recall, eval->f1);
+    // Print the per-triple probabilities.
+    for (TripleId t = 0; t < dataset.num_triples(); ++t) {
+      std::printf("  Pr=%.2f %-5s %s\n", run->scores[t],
+                  dataset.label(t) == Label::kTrue ? "true" : "false",
+                  dataset.triple(t).ToString().c_str());
+    }
+  }
+
+  std::printf(
+      "\nNote how precrec-corr rejects {Obama, administered by, John G. "
+      "Roberts}:\nits four providers are correlated, so their agreement "
+      "counts less.\n");
+  return 0;
+}

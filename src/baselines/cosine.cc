@@ -1,0 +1,80 @@
+#include "baselines/cosine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fuser {
+
+StatusOr<std::vector<double>> CosineScores(const Dataset& dataset,
+                                           const CosineOptions& options) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  if (options.iterations < 1) {
+    return Status::InvalidArgument("iterations must be >= 1");
+  }
+  const size_t m = dataset.num_triples();
+  const size_t n = dataset.num_sources();
+
+  std::vector<std::vector<std::pair<SourceId, double>>> voters(m);
+  std::vector<std::vector<std::pair<TripleId, double>>> votes_by_source(n);
+  for (TripleId t = 0; t < m; ++t) {
+    if (options.use_scopes) {
+      for (SourceId s : dataset.in_scope_sources(t)) {
+        double v = dataset.provides(s, t) ? 1.0 : -1.0;
+        voters[t].push_back({s, v});
+        votes_by_source[s].push_back({t, v});
+      }
+    } else {
+      for (SourceId s = 0; s < n; ++s) {
+        double v = dataset.provides(s, t) ? 1.0 : -1.0;
+        voters[t].push_back({s, v});
+        votes_by_source[s].push_back({t, v});
+      }
+    }
+  }
+
+  std::vector<double> tau(m, 0.0);
+  std::vector<double> trust(n, options.initial_trust);
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // Fact estimates from trust^3-weighted votes.
+    for (TripleId t = 0; t < m; ++t) {
+      double num = 0.0;
+      double den = 0.0;
+      for (const auto& [s, v] : voters[t]) {
+        double w = trust[s] * trust[s] * trust[s];
+        num += w * v;
+        den += std::fabs(w);
+      }
+      tau[t] = den > 0.0 ? std::clamp(num / den, -1.0, 1.0) : 0.0;
+    }
+    // Trust as cosine similarity between votes and estimates.
+    for (SourceId s = 0; s < n; ++s) {
+      if (votes_by_source[s].empty()) continue;
+      double dot = 0.0;
+      double norm_v = 0.0;
+      double norm_t = 0.0;
+      for (const auto& [t, v] : votes_by_source[s]) {
+        dot += v * tau[t];
+        norm_v += v * v;
+        norm_t += tau[t] * tau[t];
+      }
+      double denom = std::sqrt(norm_v) * std::sqrt(norm_t);
+      double fresh = denom > 0.0 ? dot / denom : 0.0;
+      trust[s] = std::clamp(
+          (1.0 - options.damping) * trust[s] + options.damping * fresh, -1.0,
+          1.0);
+    }
+  }
+
+  std::vector<double> scores(m);
+  for (TripleId t = 0; t < m; ++t) {
+    scores[t] = (tau[t] + 1.0) / 2.0;
+  }
+  return scores;
+}
+
+}  // namespace fuser

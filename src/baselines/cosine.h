@@ -1,0 +1,32 @@
+// Cosine baseline (Galland et al., WSDM 2010).
+//
+// Iterative fixpoint: each source's trust is the cosine similarity between
+// its vote vector (+1 provides / -1 in-scope silent) and the current
+// truthfulness estimates in [-1, 1]; each fact's estimate is the
+// trust^3-weighted vote average. A damping factor stabilizes the iteration.
+#ifndef FUSER_BASELINES_COSINE_H_
+#define FUSER_BASELINES_COSINE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+struct CosineOptions {
+  int iterations = 20;
+  double initial_trust = 0.8;
+  /// New-estimate weight per iteration (eta in the original paper).
+  double damping = 0.2;
+  bool use_scopes = false;
+};
+
+/// Scores every triple with (tau + 1) / 2, mapping the [-1, 1] estimate to
+/// a [0, 1] truthfulness score.
+StatusOr<std::vector<double>> CosineScores(const Dataset& dataset,
+                                           const CosineOptions& options);
+
+}  // namespace fuser
+
+#endif  // FUSER_BASELINES_COSINE_H_

@@ -1,0 +1,103 @@
+#include "baselines/ltm.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace fuser {
+
+StatusOr<std::vector<double>> LtmScores(const Dataset& dataset,
+                                        const LtmOptions& options) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  if (options.burn_in < 0 || options.samples < 1 || options.thin < 1) {
+    return Status::InvalidArgument("invalid sampler schedule");
+  }
+  if (options.beta <= 0.0 || options.beta >= 1.0) {
+    return Status::InvalidArgument("beta must be in (0,1)");
+  }
+  const size_t m = dataset.num_triples();
+  const size_t n = dataset.num_sources();
+
+  // Observation lists per triple: (source, provides?).
+  std::vector<std::vector<std::pair<SourceId, bool>>> obs(m);
+  for (TripleId t = 0; t < m; ++t) {
+    if (options.use_scopes) {
+      for (SourceId s : dataset.in_scope_sources(t)) {
+        obs[t].push_back({s, dataset.provides(s, t)});
+      }
+    } else {
+      for (SourceId s = 0; s < n; ++s) {
+        obs[t].push_back({s, dataset.provides(s, t)});
+      }
+    }
+  }
+
+  // Sufficient statistics: counts[s][z][o] = number of triples with latent
+  // truth z where source s made observation o.
+  struct SourceCounts {
+    double c[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+  };
+  std::vector<SourceCounts> counts(n);
+
+  Rng rng(options.seed);
+  std::vector<uint8_t> z(m);
+  for (TripleId t = 0; t < m; ++t) {
+    z[t] = rng.NextBernoulli(options.beta) ? 1 : 0;
+    for (const auto& [s, o] : obs[t]) {
+      counts[s].c[z[t]][o ? 1 : 0] += 1.0;
+    }
+  }
+
+  const double prior[2][2] = {{options.alpha00, options.alpha01},
+                              {options.alpha10, options.alpha11}};
+
+  std::vector<double> truth_accum(m, 0.0);
+  int collected = 0;
+  const int total_iters = options.burn_in + options.samples * options.thin;
+  for (int iter = 0; iter < total_iters; ++iter) {
+    for (TripleId t = 0; t < m; ++t) {
+      // Remove t's contribution.
+      for (const auto& [s, o] : obs[t]) {
+        counts[s].c[z[t]][o ? 1 : 0] -= 1.0;
+      }
+      // Collapsed conditional for both states.
+      double logw[2] = {std::log(1.0 - options.beta),
+                        std::log(options.beta)};
+      for (const auto& [s, o] : obs[t]) {
+        const int oi = o ? 1 : 0;
+        for (int zi = 0; zi < 2; ++zi) {
+          double num = counts[s].c[zi][oi] + prior[zi][oi];
+          double den = counts[s].c[zi][0] + counts[s].c[zi][1] +
+                       prior[zi][0] + prior[zi][1];
+          logw[zi] += std::log(num / den);
+        }
+      }
+      double mx = std::max(logw[0], logw[1]);
+      double w1 = std::exp(logw[1] - mx);
+      double w0 = std::exp(logw[0] - mx);
+      double p1 = w1 / (w0 + w1);
+      z[t] = rng.NextBernoulli(p1) ? 1 : 0;
+      for (const auto& [s, o] : obs[t]) {
+        counts[s].c[z[t]][o ? 1 : 0] += 1.0;
+      }
+    }
+    if (iter >= options.burn_in &&
+        (iter - options.burn_in) % options.thin == 0) {
+      for (TripleId t = 0; t < m; ++t) {
+        truth_accum[t] += z[t];
+      }
+      ++collected;
+    }
+  }
+
+  std::vector<double> scores(m);
+  for (TripleId t = 0; t < m; ++t) {
+    scores[t] = truth_accum[t] / static_cast<double>(collected);
+  }
+  return scores;
+}
+
+}  // namespace fuser

@@ -1,0 +1,52 @@
+// LTM: Latent Truth Model (Zhao, Rubinstein, Gemmell, Han; PVLDB 2012),
+// re-implemented from the paper as a collapsed Gibbs sampler.
+//
+// Generative model (open-world, independent triples, like ours):
+//   for each source k:  false positive rate phi0_k ~ Beta(a01, a00)
+//                       sensitivity (recall) phi1_k ~ Beta(a11, a10)
+//   for each triple f:  truth z_f ~ Bernoulli(beta)
+//   observation o_{k,f} in {0,1} (k provides f?) ~ Bernoulli(phi^{z_f}_k)
+// Only in-scope (source, triple) pairs generate observations when scopes
+// are enabled.
+//
+// The sampler integrates out phi (Beta-Bernoulli conjugacy) and sweeps the
+// latent truths; the final score of a triple is the fraction of post-burn-in
+// samples in which it was true. Hyper-parameter defaults follow the LTM
+// paper (strong prior that false positive rates are low, uninformative
+// prior on sensitivity).
+#ifndef FUSER_BASELINES_LTM_H_
+#define FUSER_BASELINES_LTM_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+struct LtmOptions {
+  /// Beta prior on the false positive rate: (alpha01 successes of "provide
+  /// while false", alpha00 of "silent while false").
+  double alpha01 = 10.0;
+  double alpha00 = 1000.0;
+  /// Beta prior on sensitivity/recall.
+  double alpha11 = 50.0;
+  double alpha10 = 50.0;
+  /// Prior probability that a triple is true.
+  double beta = 0.5;
+  int burn_in = 64;
+  int samples = 64;
+  /// Keep every `thin`-th sample after burn-in.
+  int thin = 1;
+  uint64_t seed = 7;
+  bool use_scopes = false;
+};
+
+/// Scores every triple with its posterior truth frequency across Gibbs
+/// samples.
+StatusOr<std::vector<double>> LtmScores(const Dataset& dataset,
+                                        const LtmOptions& options);
+
+}  // namespace fuser
+
+#endif  // FUSER_BASELINES_LTM_H_

@@ -1,0 +1,129 @@
+#include "baselines/three_estimates.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fuser {
+
+namespace {
+
+constexpr double kFloor = 1e-3;
+
+/// Affine rescale of v onto [0+kFloor, 1-kFloor]; identity when the values
+/// are all equal.
+void Normalize(std::vector<double>* v) {
+  double lo = 1e300;
+  double hi = -1e300;
+  for (double x : *v) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  if (hi - lo < 1e-12) return;
+  for (double& x : *v) {
+    x = kFloor + (1.0 - 2.0 * kFloor) * (x - lo) / (hi - lo);
+  }
+}
+
+void Truncate(std::vector<double>* v) {
+  for (double& x : *v) {
+    x = std::clamp(x, kFloor, 1.0 - kFloor);
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<double>> ThreeEstimatesScores(
+    const Dataset& dataset, const ThreeEstimatesOptions& options) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  if (options.iterations < 1) {
+    return Status::InvalidArgument("iterations must be >= 1");
+  }
+  const size_t m = dataset.num_triples();
+  const size_t n = dataset.num_sources();
+
+  // Voter lists per triple: (source, positive?).
+  std::vector<std::vector<std::pair<SourceId, bool>>> voters(m);
+  std::vector<std::vector<std::pair<TripleId, bool>>> votes_by_source(n);
+  for (TripleId t = 0; t < m; ++t) {
+    if (options.use_scopes) {
+      for (SourceId s : dataset.in_scope_sources(t)) {
+        bool pos = dataset.provides(s, t);
+        voters[t].push_back({s, pos});
+        votes_by_source[s].push_back({t, pos});
+      }
+    } else {
+      for (SourceId s = 0; s < n; ++s) {
+        bool pos = dataset.provides(s, t);
+        voters[t].push_back({s, pos});
+        votes_by_source[s].push_back({t, pos});
+      }
+    }
+  }
+
+  std::vector<double> tau(m, 0.5);
+  std::vector<double> eps(n, options.initial_error);
+  std::vector<double> delta(m, options.initial_difficulty);
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    // tau_f from the error model: a positive vote asserts f with
+    // probability of being right 1 - eps_s*delta_f; a negative vote asserts
+    // !f, contributing eps_s*delta_f evidence for f.
+    for (TripleId t = 0; t < m; ++t) {
+      if (voters[t].empty()) {
+        tau[t] = 0.5;
+        continue;
+      }
+      double sum = 0.0;
+      for (const auto& [s, pos] : voters[t]) {
+        double err = std::clamp(eps[s] * delta[t], 0.0, 1.0);
+        sum += pos ? (1.0 - err) : err;
+      }
+      tau[t] = sum / static_cast<double>(voters[t].size());
+    }
+    if (options.normalize) {
+      Normalize(&tau);
+    } else {
+      Truncate(&tau);
+    }
+
+    // delta_f: solve err = eps_s * delta_f where err is the apparent error
+    // of each vote given tau.
+    for (TripleId t = 0; t < m; ++t) {
+      if (voters[t].empty()) continue;
+      double sum = 0.0;
+      for (const auto& [s, pos] : voters[t]) {
+        double apparent_error = pos ? (1.0 - tau[t]) : tau[t];
+        sum += apparent_error / std::max(eps[s], kFloor);
+      }
+      delta[t] = sum / static_cast<double>(voters[t].size());
+    }
+    if (options.normalize) {
+      Normalize(&delta);
+    } else {
+      Truncate(&delta);
+    }
+
+    // eps_s: same relation, solved for the source error factor.
+    for (SourceId s = 0; s < n; ++s) {
+      if (votes_by_source[s].empty()) continue;
+      double sum = 0.0;
+      for (const auto& [t, pos] : votes_by_source[s]) {
+        double apparent_error = pos ? (1.0 - tau[t]) : tau[t];
+        sum += apparent_error / std::max(delta[t], kFloor);
+      }
+      eps[s] = sum / static_cast<double>(votes_by_source[s].size());
+    }
+    if (options.normalize) {
+      Normalize(&eps);
+    } else {
+      Truncate(&eps);
+    }
+  }
+  return tau;
+}
+
+}  // namespace fuser

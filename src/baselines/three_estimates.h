@@ -1,0 +1,43 @@
+// 3-Estimates baseline (Galland, Abiteboul, Marian, Senellart: WSDM 2010),
+// re-implemented for the independent-triple, open-world setting.
+//
+// The algorithm iteratively estimates three quantities linked by the
+// relation "probability that source s errs on fact f = eps_s * delta_f":
+//   tau_f   - truthfulness of fact f,
+//   eps_s   - error factor of source s,
+//   delta_f - difficulty of fact f.
+// A source that provides f casts a positive vote; an in-scope source that
+// does not provide f casts a negative vote. After each update the estimates
+// are post-processed by truncation into [0,1] and an affine rescaling onto
+// the full [0,1] range ("normalization"), which the original paper found
+// essential.
+#ifndef FUSER_BASELINES_THREE_ESTIMATES_H_
+#define FUSER_BASELINES_THREE_ESTIMATES_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+struct ThreeEstimatesOptions {
+  int iterations = 20;
+  /// Initial source error factor.
+  double initial_error = 0.4;
+  /// Initial fact difficulty.
+  double initial_difficulty = 0.4;
+  /// Rescale eps and delta onto [lo, hi] each round (normalization);
+  /// without it the estimates collapse, per the original paper.
+  bool normalize = true;
+  bool use_scopes = false;
+};
+
+/// Scores every triple with the converged truthfulness estimate tau in
+/// [0, 1].
+StatusOr<std::vector<double>> ThreeEstimatesScores(
+    const Dataset& dataset, const ThreeEstimatesOptions& options);
+
+}  // namespace fuser
+
+#endif  // FUSER_BASELINES_THREE_ESTIMATES_H_

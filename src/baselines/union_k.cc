@@ -1,0 +1,30 @@
+#include "baselines/union_k.h"
+
+namespace fuser {
+
+StatusOr<std::vector<double>> UnionKScores(const Dataset& dataset,
+                                           const UnionKOptions& options) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  if (options.percent < 0.0 || options.percent > 100.0) {
+    return Status::InvalidArgument("percent must be in [0, 100]");
+  }
+  std::vector<double> scores(dataset.num_triples());
+  const double n_all = static_cast<double>(dataset.num_sources());
+  for (TripleId t = 0; t < dataset.num_triples(); ++t) {
+    double denom = options.use_scopes
+                       ? static_cast<double>(dataset.in_scope_sources(t).size())
+                       : n_all;
+    if (denom <= 0.0) {
+      scores[t] = 0.0;
+      continue;
+    }
+    scores[t] = static_cast<double>(dataset.providers(t).size()) / denom;
+  }
+  return scores;
+}
+
+double UnionKThreshold(double percent) { return percent / 100.0 - 1e-9; }
+
+}  // namespace fuser

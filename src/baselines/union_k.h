@@ -1,0 +1,34 @@
+// Union-K voting baseline (Section 1 / Figure 1c).
+//
+// A triple is accepted when at least K% of the sources with an opinion
+// about it provide it; Union-50 is majority voting. The truthfulness score
+// is the fraction of in-scope sources that provide the triple, so ranking
+// by score reproduces the vote-count ranking used for the paper's curves.
+#ifndef FUSER_BASELINES_UNION_K_H_
+#define FUSER_BASELINES_UNION_K_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+struct UnionKOptions {
+  /// Percentage of sources required (e.g. 25, 50, 75).
+  double percent = 50.0;
+  /// Count only in-scope sources in the denominator.
+  bool use_scopes = false;
+};
+
+/// Scores every triple with its provider fraction in [0, 1].
+StatusOr<std::vector<double>> UnionKScores(const Dataset& dataset,
+                                           const UnionKOptions& options);
+
+/// The decision threshold matching `percent` for use with the >= rule
+/// (a hair below percent/100 to absorb floating-point error).
+double UnionKThreshold(double percent);
+
+}  // namespace fuser
+
+#endif  // FUSER_BASELINES_UNION_K_H_

@@ -1,0 +1,91 @@
+// Bit-mask utilities used by the inclusion-exclusion machinery.
+//
+// Source subsets within a correlation cluster are represented as uint64_t
+// masks (bit i set <=> source i in the subset); this file provides popcount,
+// bit iteration, submask enumeration, and k-combination enumeration over
+// masks.
+#ifndef FUSER_COMMON_BIT_UTIL_H_
+#define FUSER_COMMON_BIT_UTIL_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fuser {
+
+using Mask = uint64_t;
+
+inline int PopCount(Mask m) { return std::popcount(m); }
+
+/// Index of the lowest set bit; undefined for m == 0.
+inline int LowestBit(Mask m) { return std::countr_zero(m); }
+
+/// Mask with bits [0, n) set. n must be <= 64.
+inline Mask FullMask(int n) {
+  return n >= 64 ? ~Mask{0} : ((Mask{1} << n) - 1);
+}
+
+inline bool HasBit(Mask m, int i) { return (m >> i) & 1; }
+inline Mask WithBit(Mask m, int i) { return m | (Mask{1} << i); }
+inline Mask WithoutBit(Mask m, int i) { return m & ~(Mask{1} << i); }
+
+/// Returns the indices of set bits, lowest first.
+std::vector<int> BitIndices(Mask m);
+
+/// Calls fn(i) for every set bit i of m, lowest first.
+template <typename Fn>
+void ForEachBit(Mask m, Fn&& fn) {
+  while (m != 0) {
+    fn(std::countr_zero(m));
+    m &= m - 1;
+  }
+}
+
+/// Enumerates all submasks of `set` (including 0 and `set` itself) and calls
+/// fn(submask) for each. Visits 2^popcount(set) masks.
+template <typename Fn>
+void ForEachSubmask(Mask set, Fn&& fn) {
+  Mask sub = set;
+  for (;;) {
+    fn(sub);
+    if (sub == 0) break;
+    sub = (sub - 1) & set;
+  }
+}
+
+/// Enumerates the submasks of `set` with exactly k bits set and calls
+/// fn(submask) for each.
+template <typename Fn>
+void ForEachKSubset(Mask set, int k, Fn&& fn) {
+  std::vector<int> bits = BitIndices(set);
+  const int n = static_cast<int>(bits.size());
+  if (k < 0 || k > n) return;
+  if (k == 0) {
+    fn(Mask{0});
+    return;
+  }
+  // Gosper-style enumeration over the *positions* vector: iterate all
+  // k-combinations of indices into `bits`.
+  std::vector<int> comb(k);
+  for (int i = 0; i < k; ++i) comb[i] = i;
+  for (;;) {
+    Mask m = 0;
+    for (int idx : comb) m |= Mask{1} << bits[idx];
+    fn(m);
+    // Advance to next combination.
+    int i = k - 1;
+    while (i >= 0 && comb[i] == n - k + i) --i;
+    if (i < 0) break;
+    ++comb[i];
+    for (int j = i + 1; j < k; ++j) comb[j] = comb[j - 1] + 1;
+  }
+}
+
+/// n choose k without overflow for the small arguments used here
+/// (n <= 64); saturates at UINT64_MAX.
+uint64_t BinomialCoefficient(int n, int k);
+
+}  // namespace fuser
+
+#endif  // FUSER_COMMON_BIT_UTIL_H_

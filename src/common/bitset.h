@@ -1,0 +1,141 @@
+// DynamicBitset: a fixed-capacity bitset sized at runtime.
+//
+// Source output sets and triple masks (gold/true/train) are bitsets over
+// triple ids; joint-statistics computation intersects them word-by-word.
+#ifndef FUSER_COMMON_BITSET_H_
+#define FUSER_COMMON_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fuser {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t size, bool value = false)
+      : size_(size),
+        words_((size + 63) / 64, value ? ~uint64_t{0} : uint64_t{0}) {
+    TrimTail();
+  }
+
+  size_t size() const { return size_; }
+
+  void Resize(size_t size, bool value = false) {
+    size_t old_size = size_;
+    size_ = size;
+    words_.resize((size + 63) / 64, value ? ~uint64_t{0} : uint64_t{0});
+    if (value && old_size < size) {
+      // Set the straggler bits of the old tail word.
+      for (size_t i = old_size; i < size && i < ((old_size + 63) / 64) * 64;
+           ++i) {
+        Set(i);
+      }
+    }
+    TrimTail();
+  }
+
+  bool Test(size_t i) const {
+    FUSER_CHECK_LT(i, size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i) {
+    FUSER_CHECK_LT(i, size_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void Reset(size_t i) {
+    FUSER_CHECK_LT(i, size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  void Assign(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Reset(i);
+    }
+  }
+
+  void Clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(std::popcount(w));
+    return c;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// this &= other. Sizes must match.
+  void AndWith(const DynamicBitset& other) {
+    FUSER_CHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// this |= other. Sizes must match.
+  void OrWith(const DynamicBitset& other) {
+    FUSER_CHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// this &= ~other. Sizes must match.
+  void AndNotWith(const DynamicBitset& other) {
+    FUSER_CHECK_EQ(size_, other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  }
+
+  /// popcount(this & other) without materializing the intersection.
+  size_t AndCount(const DynamicBitset& other) const {
+    FUSER_CHECK_EQ(size_, other.size_);
+    size_t c = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      c += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+    }
+    return c;
+  }
+
+  /// Calls fn(i) for every set bit i in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        int b = std::countr_zero(w);
+        fn(wi * 64 + static_cast<size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+  bool operator==(const DynamicBitset& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  void TrimTail() {
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (size_ % 64)) - 1;
+    }
+  }
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace fuser
+
+#endif  // FUSER_COMMON_BITSET_H_

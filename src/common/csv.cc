@@ -1,0 +1,106 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace fuser {
+
+StatusOr<CsvRow> ParseCsvLine(const std::string& line, char sep) {
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == sep) {
+      row.push_back(std::move(field));
+      field.clear();
+      ++i;
+      continue;
+    }
+    field.push_back(c);
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote in CSV line: " + line);
+  }
+  row.push_back(std::move(field));
+  return row;
+}
+
+std::string FormatCsvLine(const CsvRow& row, char sep) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    const std::string& field = row[i];
+    bool needs_quotes = field.find(sep) != std::string::npos ||
+                        field.find('"') != std::string::npos ||
+                        field.find('\n') != std::string::npos;
+    if (!needs_quotes) {
+      out += field;
+      continue;
+    }
+    out.push_back('"');
+    for (char c : field) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+StatusOr<std::vector<CsvRow>> ReadCsvFile(const std::string& path, char sep) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open file for reading: " + path);
+  }
+  std::vector<CsvRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    FUSER_ASSIGN_OR_RETURN(CsvRow row, ParseCsvLine(line, sep));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows,
+                    char sep) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  for (const CsvRow& row : rows) {
+    out << FormatCsvLine(row, sep) << '\n';
+  }
+  if (!out) {
+    return Status::IoError("write failure: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace fuser

@@ -1,0 +1,36 @@
+// Minimal CSV/TSV reading and writing with RFC-4180-style quoting.
+//
+// Used by dataset I/O and by the benchmark harness to emit machine-readable
+// series for the paper's figures.
+#ifndef FUSER_COMMON_CSV_H_
+#define FUSER_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fuser {
+
+/// One parsed row (vector of unescaped fields).
+using CsvRow = std::vector<std::string>;
+
+/// Parses one CSV line with separator `sep`, honoring double-quote escaping.
+/// Returns InvalidArgument on unterminated quotes.
+StatusOr<CsvRow> ParseCsvLine(const std::string& line, char sep = ',');
+
+/// Escapes and joins a row for writing.
+std::string FormatCsvLine(const CsvRow& row, char sep = ',');
+
+/// Reads a whole file of CSV rows; skips blank lines and lines starting
+/// with '#'.
+StatusOr<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
+                                          char sep = ',');
+
+/// Writes rows to `path`, overwriting.
+Status WriteCsvFile(const std::string& path, const std::vector<CsvRow>& rows,
+                    char sep = ',');
+
+}  // namespace fuser
+
+#endif  // FUSER_COMMON_CSV_H_

@@ -1,0 +1,74 @@
+// Minimal leveled logging plus CHECK macros.
+//
+// FUSER_CHECK* macros abort on violated invariants; they are used for
+// programmer errors only (user-facing failures go through Status).
+#ifndef FUSER_COMMON_LOGGING_H_
+#define FUSER_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fuser {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace fuser
+
+#define FUSER_LOG(level)                                              \
+  ::fuser::internal::LogMessage(::fuser::LogLevel::k##level, __FILE__, \
+                                __LINE__)                              \
+      .stream()
+
+#define FUSER_CHECK(condition)                                        \
+  if (!(condition))                                                   \
+  ::fuser::internal::FatalLogMessage(__FILE__, __LINE__).stream()     \
+      << "Check failed: " #condition " "
+
+#define FUSER_CHECK_EQ(a, b) FUSER_CHECK((a) == (b))
+#define FUSER_CHECK_NE(a, b) FUSER_CHECK((a) != (b))
+#define FUSER_CHECK_LT(a, b) FUSER_CHECK((a) < (b))
+#define FUSER_CHECK_LE(a, b) FUSER_CHECK((a) <= (b))
+#define FUSER_CHECK_GT(a, b) FUSER_CHECK((a) > (b))
+#define FUSER_CHECK_GE(a, b) FUSER_CHECK((a) >= (b))
+
+#endif  // FUSER_COMMON_LOGGING_H_

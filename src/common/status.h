@@ -1,0 +1,159 @@
+// Status and StatusOr: exception-free error propagation, in the style of
+// absl::Status / rocksdb::Status.
+//
+// Library code never throws; fallible operations return Status (or
+// StatusOr<T> when they also produce a value). Callers are expected to check
+// `ok()` before using the value.
+#ifndef FUSER_COMMON_STATUS_H_
+#define FUSER_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fuser {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kIoError = 7,
+  kAlreadyExists = 8,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic result of a fallible operation: a code plus a message.
+/// The default-constructed Status is OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Holds either a value of type T or an error Status. Accessing the value of
+/// a non-OK StatusOr aborts the process (there are no exceptions to throw).
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so functions can `return value;` or
+  // `return Status::...;` directly (mirrors absl::StatusOr).
+  StatusOr(const T& value) : status_(), value_(value) {}        // NOLINT
+  StatusOr(T&& value) : status_(), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {        // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed with OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return value_;
+  }
+  T& value() & {
+    CheckOk();
+    return value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      std::abort();
+    }
+  }
+
+  Status status_;
+  T value_{};
+};
+
+}  // namespace fuser
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define FUSER_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::fuser::Status fuser_status_macro_s = (expr);  \
+    if (!fuser_status_macro_s.ok()) {               \
+      return fuser_status_macro_s;                  \
+    }                                               \
+  } while (false)
+
+#define FUSER_MACRO_CONCAT_INNER(a, b) a##b
+#define FUSER_MACRO_CONCAT(a, b) FUSER_MACRO_CONCAT_INNER(a, b)
+
+#define FUSER_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                \
+  if (!var.ok()) {                                   \
+    return var.status();                             \
+  }                                                  \
+  lhs = std::move(var).value()
+
+/// Evaluates `rexpr` (a StatusOr<T> expression); on error returns the status,
+/// otherwise move-assigns the value into `lhs`.
+#define FUSER_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  FUSER_ASSIGN_OR_RETURN_IMPL(                                              \
+      FUSER_MACRO_CONCAT(fuser_statusor_, __LINE__), lhs, rexpr)
+
+#endif  // FUSER_COMMON_STATUS_H_

@@ -1,0 +1,90 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace fuser {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = std::max<size_t>(1, num_threads);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_available_.wait(lock,
+                           [this] { return shutdown_ || !tasks_.empty(); });
+      if (shutdown_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (tasks_.empty() && active_ == 0) {
+        all_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ParallelFor(size_t count, size_t num_threads,
+                 const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  num_threads = std::min(num_threads, count);
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (size_t i = 0; i + 1 < num_threads; ++i) {
+    threads.emplace_back(worker);
+  }
+  worker();
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+}  // namespace fuser

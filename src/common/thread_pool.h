@@ -1,0 +1,57 @@
+// Fixed-size thread pool with a ParallelFor helper.
+//
+// PrecRecCorr's per-triple probabilities are independent (the paper notes
+// "Parallelization can significantly improve the efficiency of
+// PrecRecCorr"); the engine uses ParallelFor to score distinct observation
+// patterns concurrently.
+#ifndef FUSER_COMMON_THREAD_POOL_H_
+#define FUSER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fuser {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Schedule(std::function<void()> task);
+
+  /// Blocks until every scheduled task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> tasks_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs fn(i) for i in [0, count) across `num_threads` workers, blocking
+/// until completion. With num_threads <= 1 (or count small) it runs inline.
+/// `fn` must be safe to invoke concurrently for distinct i.
+void ParallelFor(size_t count, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace fuser
+
+#endif  // FUSER_COMMON_THREAD_POOL_H_

@@ -1,0 +1,68 @@
+#include "core/aggressive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "core/correlation.h"
+
+namespace fuser {
+
+StatusOr<std::vector<double>> AggressiveScores(const Dataset& dataset,
+                                               const CorrelationModel& model) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  const size_t num_clusters = model.clustering.clusters.size();
+  if (model.cluster_stats.size() != num_clusters) {
+    return Status::InvalidArgument("model cluster_stats/clusters mismatch");
+  }
+
+  // Per-source adjusted contributions, global indexing.
+  const size_t n = dataset.num_sources();
+  std::vector<double> log_provide(n, 0.0);
+  std::vector<double> log_silent(n, 0.0);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    const JointStatsProvider& stats = *model.cluster_stats[c];
+    AggressiveFactors factors = ComputeAggressiveFactors(stats);
+    const std::vector<SourceId>& cluster = model.clustering.clusters[c];
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      JointQuality single = stats.Get(Mask{1} << static_cast<int>(i));
+      // Adjusted rates; kept unclamped above 1 inside the provider ratio
+      // (matching the paper's products) but floored away from 0, and with
+      // the silent-side complements floored away from 0.
+      double x = factors.c_plus[i] * single.recall;
+      double y = factors.c_minus[i] * single.fpr;
+      SourceId s = cluster[i];
+      log_provide[s] =
+          std::log(std::max(x, kProbEpsilon)) -
+          std::log(std::max(y, kProbEpsilon));
+      log_silent[s] = std::log(std::max(1.0 - x, kProbEpsilon)) -
+                      std::log(std::max(1.0 - y, kProbEpsilon));
+    }
+  }
+
+  double total_silent = 0.0;
+  for (size_t s = 0; s < n; ++s) total_silent += log_silent[s];
+
+  std::vector<double> scores(dataset.num_triples());
+  for (TripleId t = 0; t < dataset.num_triples(); ++t) {
+    double log_mu;
+    if (!model.use_scopes) {
+      log_mu = total_silent;
+      for (SourceId s : dataset.providers(t)) {
+        log_mu += log_provide[s] - log_silent[s];
+      }
+    } else {
+      log_mu = 0.0;
+      for (SourceId s : dataset.in_scope_sources(t)) {
+        log_mu += dataset.provides(s, t) ? log_provide[s] : log_silent[s];
+      }
+    }
+    scores[t] = PosteriorFromLogMu(log_mu, model.alpha);
+  }
+  return scores;
+}
+
+}  // namespace fuser

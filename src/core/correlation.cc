@@ -1,0 +1,131 @@
+#include "core/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fuser {
+
+CorrelationFactors ComputeCorrelationFactors(const JointStatsProvider& stats,
+                                             Mask subset) {
+  CorrelationFactors factors;
+  if (PopCount(subset) < 2) {
+    return factors;  // singletons and the empty set are trivially neutral
+  }
+  JointQuality joint = stats.Get(subset);
+  double prod_r = 1.0;
+  double prod_q = 1.0;
+  ForEachBit(subset, [&](int i) {
+    JointQuality single = stats.Get(Mask{1} << i);
+    prod_r *= single.recall;
+    prod_q *= single.fpr;
+  });
+  factors.on_true = prod_r > 0.0 ? joint.recall / prod_r : 1.0;
+  factors.on_false = prod_q > 0.0 ? joint.fpr / prod_q : 1.0;
+  return factors;
+}
+
+AggressiveFactors ComputeAggressiveFactors(const JointStatsProvider& stats) {
+  const int k = stats.num_sources();
+  AggressiveFactors factors;
+  factors.c_plus.assign(static_cast<size_t>(k), 1.0);
+  factors.c_minus.assign(static_cast<size_t>(k), 1.0);
+  if (k < 2) {
+    return factors;
+  }
+  const Mask full = FullMask(k);
+  JointQuality all = stats.Get(full);
+  for (int i = 0; i < k; ++i) {
+    JointQuality self = stats.Get(Mask{1} << i);
+    JointQuality rest = stats.Get(WithoutBit(full, i));
+    double denom_r = self.recall * rest.recall;
+    double denom_q = self.fpr * rest.fpr;
+    factors.c_plus[static_cast<size_t>(i)] =
+        denom_r > 0.0 ? all.recall / denom_r : 1.0;
+    factors.c_minus[static_cast<size_t>(i)] =
+        denom_q > 0.0 ? all.fpr / denom_q : 1.0;
+  }
+  return factors;
+}
+
+StatusOr<std::vector<PairwiseCorrelation>> ComputePairwiseCorrelations(
+    const Dataset& dataset, const DynamicBitset& train_mask,
+    const std::vector<SourceId>& sources, const JointStatsOptions& options) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  // Direct bitset counting: C_ab = r_ab / (r_a r_b) with
+  // r_X = |O_X ∩ true ∩ train| / |true ∩ train| and the count-level
+  // Theorem 3.5 form for q. Scope-restricted denominators are deliberately
+  // not used here (pairwise factors are a screening heuristic); the
+  // per-cluster joint statistics built afterwards honor scopes.
+  DynamicBitset train_true = dataset.true_mask();
+  train_true.AndWith(train_mask);
+  DynamicBitset train_false = dataset.labeled_mask();
+  train_false.AndWith(train_mask);
+  train_false.AndNotWith(dataset.true_mask());
+
+  const double total_true = static_cast<double>(train_true.Count());
+  const double alpha_odds = options.alpha / (1.0 - options.alpha);
+  const double s = options.smoothing;
+
+  // Per-source intersections with the class masks, precomputed.
+  std::vector<DynamicBitset> out_true;
+  std::vector<DynamicBitset> out_false;
+  out_true.reserve(sources.size());
+  out_false.reserve(sources.size());
+  std::vector<double> r(sources.size());
+  std::vector<double> q(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    DynamicBitset ot = dataset.output(sources[i]);
+    ot.AndWith(train_true);
+    DynamicBitset of = dataset.output(sources[i]);
+    of.AndWith(train_false);
+    double nt = static_cast<double>(ot.Count());
+    double nf = static_cast<double>(of.Count());
+    double den = total_true + 2.0 * s;
+    r[i] = den > 0.0 ? (nt + s) / den : 0.0;
+    q[i] = den > 0.0 ? std::min(alpha_odds * (nf + s) / den, 1.0) : 0.0;
+    out_true.push_back(std::move(ot));
+    out_false.push_back(std::move(of));
+  }
+
+  std::vector<size_t> labeled_count(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    labeled_count[i] = out_true[i].Count() + out_false[i].Count();
+  }
+
+  std::vector<PairwiseCorrelation> result;
+  result.reserve(sources.size() * (sources.size() - 1) / 2);
+  for (size_t a = 0; a < sources.size(); ++a) {
+    for (size_t b = a + 1; b < sources.size(); ++b) {
+      double joint_true = static_cast<double>(out_true[a].AndCount(out_true[b]));
+      double joint_false =
+          static_cast<double>(out_false[a].AndCount(out_false[b]));
+      double den = total_true + 2.0 * s;
+      double r_ab = den > 0.0 ? (joint_true + s) / den : 0.0;
+      double q_ab =
+          den > 0.0 ? std::min(alpha_odds * (joint_false + s) / den, 1.0) : 0.0;
+      PairwiseCorrelation corr;
+      corr.a = sources[a];
+      corr.b = sources[b];
+      corr.factors.on_true = r[a] * r[b] > 0.0 ? r_ab / (r[a] * r[b]) : 1.0;
+      corr.factors.on_false = q[a] * q[b] > 0.0 ? q_ab / (q[a] * q[b]) : 1.0;
+      // Evidence strength: the smaller side's labeled output bounds how
+      // much overlap could have been observed (anti-correlated pairs have
+      // zero joint count by construction, so joint size is unusable here).
+      corr.support = std::min(labeled_count[a], labeled_count[b]);
+      corr.joint_true_count = static_cast<size_t>(joint_true);
+      corr.joint_false_count = static_cast<size_t>(joint_false);
+      corr.indep_true_count = r[a] * r[b] * total_true;
+      corr.indep_false_count = total_true > 0.0
+                                   ? q[a] * q[b] * total_true / alpha_odds
+                                   : 0.0;
+      result.push_back(corr);
+    }
+  }
+  return result;
+}
+
+}  // namespace fuser

@@ -1,0 +1,71 @@
+// Correlation factors (Section 4.2, step I) and pairwise correlation
+// discovery.
+//
+//   C_{S*}  = r_{S*} / prod_i r_i   (correlation on true triples, Eq. 16)
+//   C!_{S*} = q_{S*} / prod_i q_i   (correlation on false triples, Eq. 17)
+//
+// Values > 1 indicate positive correlation, < 1 negative correlation
+// (anti-correlation), and == 1 independence. The per-source leave-one-out
+// factors C+_i and C-_i (Eqs. 14-15) drive the aggressive and elastic
+// approximations.
+#ifndef FUSER_CORE_CORRELATION_H_
+#define FUSER_CORE_CORRELATION_H_
+
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/bitset.h"
+#include "common/status.h"
+#include "core/joint_stats.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+/// Correlation of a subset of sources, on true and on false triples.
+struct CorrelationFactors {
+  double on_true = 1.0;   // C_{S*}
+  double on_false = 1.0;  // C!_{S*}
+};
+
+/// Computes C_{S*} and C!_{S*} from joint statistics. Degenerate singleton
+/// recalls/fprs (zero) yield a neutral factor of 1.
+CorrelationFactors ComputeCorrelationFactors(const JointStatsProvider& stats,
+                                             Mask subset);
+
+/// Per-source aggressive-approximation factors for one cluster:
+///   C+_i = r_{1..n} / (r_i * r_{1..n \ i}),
+///   C-_i = q_{1..n} / (q_i * q_{1..n \ i}).
+/// Zero denominators yield a neutral factor of 1.
+struct AggressiveFactors {
+  std::vector<double> c_plus;
+  std::vector<double> c_minus;
+};
+AggressiveFactors ComputeAggressiveFactors(const JointStatsProvider& stats);
+
+/// Pairwise correlation between two global sources, estimated over training
+/// triples: C on true triples and C! on false triples.
+struct PairwiseCorrelation {
+  SourceId a = 0;
+  SourceId b = 0;
+  CorrelationFactors factors;
+  /// Evidence strength: the smaller of the two sources' labeled-output
+  /// sizes (an upper bound on observable overlap).
+  size_t support = 0;
+  /// Observed joint counts and their expectations under independence
+  /// (r_a * r_b * |true|, and the analogue for false). Used to judge the
+  /// statistical significance of a factor's deviation.
+  size_t joint_true_count = 0;
+  size_t joint_false_count = 0;
+  double indep_true_count = 0.0;
+  double indep_false_count = 0.0;
+};
+
+/// All pairwise correlations among `sources` (global ids). The returned
+/// vector has one entry per unordered pair.
+StatusOr<std::vector<PairwiseCorrelation>> ComputePairwiseCorrelations(
+    const Dataset& dataset, const DynamicBitset& train_mask,
+    const std::vector<SourceId>& sources, const JointStatsOptions& options);
+
+}  // namespace fuser
+
+#endif  // FUSER_CORE_CORRELATION_H_

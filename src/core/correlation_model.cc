@@ -1,0 +1,62 @@
+#include "core/correlation_model.h"
+
+#include "common/logging.h"
+
+namespace fuser {
+
+StatusOr<CorrelationModel> BuildCorrelationModel(const Dataset& dataset,
+                                                 const DynamicBitset& train,
+                                                 const ModelOptions& options) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  CorrelationModel model;
+  model.alpha = options.alpha;
+  model.use_scopes = options.use_scopes;
+
+  FUSER_ASSIGN_OR_RETURN(
+      model.source_quality,
+      EstimateSourceQuality(dataset, train, options.ToQualityOptions()));
+
+  if (options.enable_clustering) {
+    FUSER_ASSIGN_OR_RETURN(
+        model.clustering,
+        ClusterSourcesByCorrelation(dataset, train,
+                                    options.ToJointStatsOptions(),
+                                    options.clustering));
+  } else {
+    FUSER_ASSIGN_OR_RETURN(model.clustering, SingleCluster(dataset));
+  }
+
+  model.cluster_stats.reserve(model.clustering.clusters.size());
+  for (const std::vector<SourceId>& cluster : model.clustering.clusters) {
+    FUSER_ASSIGN_OR_RETURN(
+        std::unique_ptr<EmpiricalJointStats> stats,
+        EmpiricalJointStats::Create(dataset, train, cluster,
+                                    options.ToJointStatsOptions()));
+    model.cluster_stats.push_back(std::move(stats));
+  }
+  return model;
+}
+
+ClusterObservation GetClusterObservation(const Dataset& dataset,
+                                         const CorrelationModel& model,
+                                         size_t cluster_index, TripleId t) {
+  FUSER_CHECK_LT(cluster_index, model.clustering.clusters.size());
+  const std::vector<SourceId>& cluster =
+      model.clustering.clusters[cluster_index];
+  ClusterObservation obs;
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    SourceId s = cluster[i];
+    bool in_scope = !model.use_scopes || dataset.in_scope(s, t);
+    if (in_scope) {
+      obs.in_scope = WithBit(obs.in_scope, static_cast<int>(i));
+      if (dataset.provides(s, t)) {
+        obs.providers = WithBit(obs.providers, static_cast<int>(i));
+      }
+    }
+  }
+  return obs;
+}
+
+}  // namespace fuser

@@ -1,0 +1,77 @@
+// CorrelationModel: everything the inference algorithms need about the
+// sources - per-source quality, the cluster partition, and per-cluster
+// joint statistics.
+//
+// Built from training data by BuildCorrelationModel, or assembled manually
+// (e.g., with ExplicitJointStats) when the parameters are known, as in the
+// paper's worked examples.
+#ifndef FUSER_CORE_CORRELATION_MODEL_H_
+#define FUSER_CORE_CORRELATION_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/bitset.h"
+#include "common/status.h"
+#include "core/clustering.h"
+#include "core/joint_stats.h"
+#include "core/quality.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+struct ModelOptions {
+  /// A priori probability Pr(t) = alpha (Section 3.1).
+  double alpha = 0.5;
+  /// Laplace smoothing for all count-based estimates.
+  double smoothing = 0.0;
+  /// Count a source's silence about t only when t's domain is in the
+  /// source's scope (Section 2.1/2.2).
+  bool use_scopes = false;
+  /// Partition sources into correlation clusters; mandatory when there are
+  /// more than 64 sources. With false, all sources form one cluster.
+  bool enable_clustering = false;
+  ClusteringOptions clustering;
+  /// See JointStatsOptions.
+  int sos_table_max_bits = 20;
+
+  QualityOptions ToQualityOptions() const {
+    return {alpha, smoothing, use_scopes};
+  }
+  JointStatsOptions ToJointStatsOptions() const {
+    return {alpha, smoothing, use_scopes, sos_table_max_bits};
+  }
+};
+
+struct CorrelationModel {
+  std::vector<SourceQuality> source_quality;  // indexed by global SourceId
+  SourceClustering clustering;
+  /// Parallel to clustering.clusters.
+  std::vector<std::unique_ptr<JointStatsProvider>> cluster_stats;
+  double alpha = 0.5;
+  bool use_scopes = false;
+};
+
+/// Estimates quality, clusters sources, and builds per-cluster joint
+/// statistics from the training triples.
+StatusOr<CorrelationModel> BuildCorrelationModel(const Dataset& dataset,
+                                                 const DynamicBitset& train,
+                                                 const ModelOptions& options);
+
+/// The observation of triple t restricted to one cluster: which cluster
+/// members provide it and which are in scope.
+struct ClusterObservation {
+  Mask providers = 0;   // subset of in_scope
+  Mask in_scope = 0;    // sources with an opinion about t
+};
+
+/// Extracts the cluster-local observation masks for triple t. When scopes
+/// are disabled every cluster member is in scope.
+ClusterObservation GetClusterObservation(const Dataset& dataset,
+                                         const CorrelationModel& model,
+                                         size_t cluster_index, TripleId t);
+
+}  // namespace fuser
+
+#endif  // FUSER_CORE_CORRELATION_MODEL_H_

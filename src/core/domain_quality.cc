@@ -1,0 +1,107 @@
+#include "core/domain_quality.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "core/precrec.h"
+
+namespace fuser {
+
+StatusOr<DomainQualityModel> EstimateDomainQuality(
+    const Dataset& dataset, const DynamicBitset& train_mask,
+    const DomainQualityOptions& options) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  if (options.shrinkage < 0.0) {
+    return Status::InvalidArgument("shrinkage must be >= 0");
+  }
+  DomainQualityModel model;
+  FUSER_ASSIGN_OR_RETURN(
+      model.global, EstimateSourceQuality(dataset, train_mask, options.base));
+
+  const size_t n = dataset.num_sources();
+  const size_t num_domains = dataset.num_domains();
+  const double alpha = options.base.alpha;
+  const double s = options.base.smoothing;
+
+  // Per-domain counts: true/false provided per (source, domain), and true
+  // triples per domain.
+  std::vector<std::vector<size_t>> prov_true(n,
+                                             std::vector<size_t>(num_domains));
+  std::vector<std::vector<size_t>> prov_false(
+      n, std::vector<size_t>(num_domains));
+  std::vector<size_t> domain_true(num_domains, 0);
+
+  DynamicBitset train_labeled = dataset.labeled_mask();
+  train_labeled.AndWith(train_mask);
+  train_labeled.ForEach([&](size_t t) {
+    TripleId triple = static_cast<TripleId>(t);
+    DomainId d = dataset.domain(triple);
+    bool is_true = dataset.label(triple) == Label::kTrue;
+    if (is_true) ++domain_true[d];
+    for (SourceId src : dataset.providers(triple)) {
+      if (is_true) {
+        ++prov_true[src][d];
+      } else {
+        ++prov_false[src][d];
+      }
+    }
+  });
+
+  model.by_domain.assign(n, std::vector<SourceQuality>(num_domains));
+  const double k = options.shrinkage;
+  for (SourceId src = 0; src < n; ++src) {
+    const SourceQuality& global = model.global[src];
+    for (DomainId d = 0; d < num_domains; ++d) {
+      double nt = static_cast<double>(prov_true[src][d]);
+      double nf = static_cast<double>(prov_false[src][d]);
+      double den = static_cast<double>(domain_true[d]);
+      SourceQuality& q = model.by_domain[src][d];
+      if (nt + nf + den == 0.0 && s == 0.0) {
+        q = global;  // nothing observed in this domain
+        continue;
+      }
+      // Blend the domain counts with `k` pseudo-observations at the
+      // source's global rates (empirical-Bayes shrinkage).
+      double provided = nt + nf;
+      q.precision = (nt + s + k * global.precision) /
+                    (provided + 2.0 * s + k);
+      q.recall = (nt + s + k * global.recall) / (den + 2.0 * s + k);
+      double q_count = alpha / (1.0 - alpha) *
+                       (nf + s + k * global.fpr) / (den + 2.0 * s + k);
+      q.fpr = std::clamp(q_count, 0.0, 1.0);
+      q.provided_true = prov_true[src][d];
+      q.provided_labeled = prov_true[src][d] + prov_false[src][d];
+      q.scope_true = domain_true[d];
+    }
+  }
+  return model;
+}
+
+StatusOr<std::vector<double>> DomainAwarePrecRecScores(
+    const Dataset& dataset, const DomainQualityModel& model, double alpha) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  if (alpha <= 0.0 || alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0,1)");
+  }
+  if (model.by_domain.size() != dataset.num_sources()) {
+    return Status::InvalidArgument("model/source count mismatch");
+  }
+  std::vector<double> scores(dataset.num_triples());
+  for (TripleId t = 0; t < dataset.num_triples(); ++t) {
+    DomainId d = dataset.domain(t);
+    double log_mu = 0.0;
+    for (SourceId src : dataset.in_scope_sources(t)) {
+      const SourceQuality& q = model.Get(src, d);
+      log_mu += SourceLogContribution(q, dataset.provides(src, t));
+    }
+    scores[t] = PosteriorFromLogMu(log_mu, alpha);
+  }
+  return scores;
+}
+
+}  // namespace fuser

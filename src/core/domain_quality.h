@@ -1,0 +1,56 @@
+// Per-domain source quality (the paper's Section 7 future-work item):
+// "a source may have low overall precision, but may be particularly
+// accurate with respect to Pizzerias, or restaurants in the Bay Area. In
+// our model, we can consider domains separately."
+//
+// This extension estimates a (precision, recall, fpr) triple per
+// (source, domain) pair, shrunk toward the source's global estimate when
+// the domain has little training data (empirical-Bayes style: counts are
+// blended with `shrinkage` pseudo-observations of the global rates), and
+// provides a domain-aware variant of the PrecRec scorer that looks up the
+// quality of each source in the triple's own domain.
+#ifndef FUSER_CORE_DOMAIN_QUALITY_H_
+#define FUSER_CORE_DOMAIN_QUALITY_H_
+
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/status.h"
+#include "core/quality.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+struct DomainQualityOptions {
+  QualityOptions base;
+  /// Pseudo-count weight of the global estimate blended into each
+  /// per-domain estimate; 0 disables shrinkage, large values collapse to
+  /// the global quality.
+  double shrinkage = 4.0;
+};
+
+/// quality[source][domain]; domains with no training data fall back to the
+/// source's global estimate.
+struct DomainQualityModel {
+  std::vector<SourceQuality> global;                 // per source
+  std::vector<std::vector<SourceQuality>> by_domain; // [source][domain]
+
+  const SourceQuality& Get(SourceId s, DomainId d) const {
+    return by_domain[s][d];
+  }
+};
+
+/// Estimates per-domain quality from the training triples.
+StatusOr<DomainQualityModel> EstimateDomainQuality(
+    const Dataset& dataset, const DynamicBitset& train_mask,
+    const DomainQualityOptions& options);
+
+/// PrecRec (Theorem 3.1) with per-domain source quality: each source's
+/// contribution to a triple uses its quality in the triple's domain.
+/// Scope-aware: only in-scope sources contribute.
+StatusOr<std::vector<double>> DomainAwarePrecRecScores(
+    const Dataset& dataset, const DomainQualityModel& model, double alpha);
+
+}  // namespace fuser
+
+#endif  // FUSER_CORE_DOMAIN_QUALITY_H_

@@ -1,0 +1,181 @@
+#include "core/elastic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/thread_pool.h"
+#include "core/correlation.h"
+
+namespace fuser {
+
+namespace {
+
+struct PairHash {
+  size_t operator()(const std::pair<Mask, Mask>& p) const {
+    uint64_t h = p.first * 0x9E3779B97F4A7C15ULL;
+    h ^= (h >> 30);
+    h += p.second * 0xBF58476D1CE4E5B9ULL;
+    h ^= (h >> 27);
+    return static_cast<size_t>(h * 0x94D049BB133111EBULL);
+  }
+};
+
+}  // namespace
+
+Status ElasticClusterLikelihood(const JointStatsProvider& stats,
+                                Mask providers, Mask nonproviders, int level,
+                                double* numerator, double* denominator) {
+  if ((providers & nonproviders) != 0) {
+    return Status::InvalidArgument("providers and nonproviders overlap");
+  }
+  if (level < 0) {
+    return Status::InvalidArgument("level must be >= 0");
+  }
+  AggressiveFactors factors = ComputeAggressiveFactors(stats);
+
+  JointQuality base = stats.Get(providers);
+  const double r_p = providers == 0 ? 1.0 : base.recall;
+  const double q_p = providers == 0 ? 1.0 : base.fpr;
+
+  // Adjusted per-source rates for the non-providers, with the complements
+  // (1 - x) floored at 0 so the level-0 products stay meaningful; the
+  // level-l corrections use the same clamped values, preserving the
+  // telescoping that makes level |N| exact.
+  std::vector<int> n_bits = BitIndices(nonproviders);
+  std::unordered_map<int, double> x_r;  // bit -> min(C+_i r_i, 1)
+  std::unordered_map<int, double> x_q;
+  long double r_sum = r_p;
+  long double q_sum = q_p;
+  for (int bit : n_bits) {
+    JointQuality single = stats.Get(Mask{1} << bit);
+    double xr = std::min(factors.c_plus[static_cast<size_t>(bit)] *
+                             single.recall,
+                         1.0);
+    double xq = std::min(factors.c_minus[static_cast<size_t>(bit)] *
+                             single.fpr,
+                         1.0);
+    x_r[bit] = xr;
+    x_q[bit] = xq;
+    r_sum *= (1.0 - xr);
+    q_sum *= (1.0 - xq);
+  }
+
+  const int max_level =
+      std::min(level, static_cast<int>(n_bits.size()));
+  for (int l = 1; l <= max_level; ++l) {
+    const int sign = (l % 2 == 0) ? 1 : -1;
+    ForEachKSubset(nonproviders, l, [&](Mask sub) {
+      JointQuality joint = stats.Get(providers | sub);
+      double prod_r = r_p;
+      double prod_q = q_p;
+      ForEachBit(sub, [&](int bit) {
+        prod_r *= x_r[bit];
+        prod_q *= x_q[bit];
+      });
+      r_sum += sign * (static_cast<long double>(joint.recall) - prod_r);
+      q_sum += sign * (static_cast<long double>(joint.fpr) - prod_q);
+    });
+  }
+  *numerator = static_cast<double>(r_sum);
+  *denominator = static_cast<double>(q_sum);
+  return Status::OK();
+}
+
+StatusOr<std::vector<double>> ElasticScores(const Dataset& dataset,
+                                            const CorrelationModel& model,
+                                            const ElasticOptions& options) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  if (options.level < 0) {
+    return Status::InvalidArgument("level must be >= 0");
+  }
+  const size_t num_clusters = model.clustering.clusters.size();
+  if (model.cluster_stats.size() != num_clusters) {
+    return Status::InvalidArgument("model cluster_stats/clusters mismatch");
+  }
+  const size_t m = dataset.num_triples();
+
+  struct RQ {
+    double r = 1.0;
+    double q = 1.0;
+  };
+  std::vector<std::vector<std::pair<Mask, Mask>>> distinct(num_clusters);
+  std::vector<std::vector<size_t>> pattern_of(num_clusters,
+                                              std::vector<size_t>(m, 0));
+  for (size_t c = 0; c < num_clusters; ++c) {
+    std::unordered_map<std::pair<Mask, Mask>, size_t, PairHash> index;
+    for (TripleId t = 0; t < m; ++t) {
+      ClusterObservation obs = GetClusterObservation(dataset, model, c, t);
+      auto key =
+          std::make_pair(obs.providers, obs.in_scope & ~obs.providers);
+      auto [it, inserted] = index.emplace(key, distinct[c].size());
+      if (inserted) distinct[c].push_back(key);
+      pattern_of[c][t] = it->second;
+    }
+  }
+
+  std::vector<std::vector<RQ>> pattern_rq(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    pattern_rq[c].assign(distinct[c].size(), RQ{});
+    const JointStatsProvider& stats = *model.cluster_stats[c];
+    Status first_error;
+    std::mutex error_mu;
+    ParallelFor(distinct[c].size(), options.num_threads, [&](size_t i) {
+      double r = 0.0;
+      double q = 0.0;
+      Status s =
+          ElasticClusterLikelihood(stats, distinct[c][i].first,
+                                   distinct[c][i].second, options.level, &r,
+                                   &q);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = s;
+        return;
+      }
+      pattern_rq[c][i].r = std::max(r, 0.0);
+      pattern_rq[c][i].q = std::max(q, 0.0);
+    });
+    if (!first_error.ok()) {
+      return first_error;
+    }
+  }
+
+  std::vector<double> scores(m);
+  for (TripleId t = 0; t < m; ++t) {
+    double log_num = 0.0;
+    double log_den = 0.0;
+    bool num_zero = false;
+    bool den_zero = false;
+    for (size_t c = 0; c < num_clusters; ++c) {
+      const RQ& rq = pattern_rq[c][pattern_of[c][t]];
+      if (rq.r <= 0.0) {
+        num_zero = true;
+      } else {
+        log_num += std::log(rq.r);
+      }
+      if (rq.q <= 0.0) {
+        den_zero = true;
+      } else {
+        log_den += std::log(rq.q);
+      }
+    }
+    if (num_zero && den_zero) {
+      scores[t] = model.alpha;
+    } else if (num_zero) {
+      scores[t] = 0.0;
+    } else if (den_zero) {
+      scores[t] = 1.0;
+    } else {
+      scores[t] = PosteriorFromLogMu(log_num - log_den, model.alpha);
+    }
+  }
+  return scores;
+}
+
+}  // namespace fuser

@@ -1,0 +1,51 @@
+// Elastic approximation (Algorithm 1): tunable accuracy between the
+// aggressive approximation and the exact solution.
+//
+// Within a cluster with providers P and in-scope non-providers N:
+//
+//   level 0:  R = r_P * prod_{i in N} (1 - C+_i r_i)
+//             Q = q_P * prod_{i in N} (1 - C-_i q_i)
+//   level l (1 <= l <= lambda): for every S* subseteq N with |S*| = l,
+//             R += (-1)^l ( r_{P u S*} - r_P * prod_{i in S*} C+_i r_i )
+//             Q += (-1)^l ( q_{P u S*} - q_P * prod_{i in S*} C-_i q_i )
+//
+// i.e., each level replaces the approximate coefficient of the degree
+// |P|+l terms with the exact joint statistic. At lambda = |N| the result
+// equals the exact inclusion-exclusion sum of Theorem 4.2 regardless of
+// clamping, because the approximate products cancel telescopically.
+// Complexity is O(m * n^lambda) (Proposition 4.11).
+#ifndef FUSER_CORE_ELASTIC_H_
+#define FUSER_CORE_ELASTIC_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/correlation_model.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+struct ElasticOptions {
+  /// Adjustment level lambda >= 0. Level 0 is the (already level-adjusted)
+  /// starting point of Algorithm 1; higher levels refine toward the exact
+  /// solution.
+  int level = 3;
+  /// Worker threads for scoring distinct patterns.
+  size_t num_threads = 1;
+};
+
+/// Scores every triple with the elastic approximation at the configured
+/// level.
+StatusOr<std::vector<double>> ElasticScores(const Dataset& dataset,
+                                            const CorrelationModel& model,
+                                            const ElasticOptions& options);
+
+/// Per-cluster elastic numerator/denominator for observation (P, N);
+/// exposed for tests against the paper's Example 4.10.
+Status ElasticClusterLikelihood(const JointStatsProvider& stats,
+                                Mask providers, Mask nonproviders, int level,
+                                double* numerator, double* denominator);
+
+}  // namespace fuser
+
+#endif  // FUSER_CORE_ELASTIC_H_

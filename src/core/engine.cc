@@ -1,0 +1,228 @@
+#include "core/engine.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/aggressive.h"
+
+namespace fuser {
+
+std::string MethodSpec::Name() const {
+  switch (kind) {
+    case MethodKind::kUnion:
+      return StrFormat("union-%g", union_percent);
+    case MethodKind::kThreeEstimates:
+      return "3estimates";
+    case MethodKind::kCosine:
+      return "cosine";
+    case MethodKind::kLtm:
+      return "ltm";
+    case MethodKind::kPrecRec:
+      return "precrec";
+    case MethodKind::kPrecRecCorr:
+      return "precrec-corr";
+    case MethodKind::kAggressive:
+      return "aggressive";
+    case MethodKind::kElastic:
+      return StrFormat("elastic-%d", elastic_level);
+  }
+  return "unknown";
+}
+
+StatusOr<MethodSpec> ParseMethodSpec(const std::string& name) {
+  MethodSpec spec;
+  if (name == "majority") {
+    spec.kind = MethodKind::kUnion;
+    spec.union_percent = 50.0;
+    return spec;
+  }
+  if (StartsWith(name, "union-")) {
+    double percent = 0.0;
+    if (!ParseDouble(name.substr(6), &percent) || percent < 0.0 ||
+        percent > 100.0) {
+      return Status::InvalidArgument("bad union percentage in: " + name);
+    }
+    spec.kind = MethodKind::kUnion;
+    spec.union_percent = percent;
+    return spec;
+  }
+  if (name == "3estimates" || name == "3-estimates") {
+    spec.kind = MethodKind::kThreeEstimates;
+    return spec;
+  }
+  if (name == "cosine") {
+    spec.kind = MethodKind::kCosine;
+    return spec;
+  }
+  if (name == "ltm") {
+    spec.kind = MethodKind::kLtm;
+    return spec;
+  }
+  if (name == "precrec") {
+    spec.kind = MethodKind::kPrecRec;
+    return spec;
+  }
+  if (name == "precrec-corr" || name == "precreccorr") {
+    spec.kind = MethodKind::kPrecRecCorr;
+    return spec;
+  }
+  if (name == "aggressive") {
+    spec.kind = MethodKind::kAggressive;
+    return spec;
+  }
+  if (StartsWith(name, "elastic-")) {
+    size_t level = 0;
+    if (!ParseSizeT(name.substr(8), &level)) {
+      return Status::InvalidArgument("bad elastic level in: " + name);
+    }
+    spec.kind = MethodKind::kElastic;
+    spec.elastic_level = static_cast<int>(level);
+    return spec;
+  }
+  return Status::InvalidArgument("unknown method: " + name);
+}
+
+FusionEngine::FusionEngine(const Dataset* dataset, EngineOptions options)
+    : dataset_(dataset), options_(std::move(options)) {
+  FUSER_CHECK(dataset_ != nullptr);
+  FUSER_CHECK(dataset_->finalized()) << "dataset must be finalized";
+  // Scope handling must be consistent across methods; propagate the model
+  // setting into every baseline.
+  options_.three_estimates.use_scopes = options_.model.use_scopes;
+  options_.cosine.use_scopes = options_.model.use_scopes;
+  options_.ltm.use_scopes = options_.model.use_scopes;
+  options_.corr.num_threads = options_.num_threads;
+}
+
+Status FusionEngine::Prepare(const DynamicBitset& train_mask) {
+  if (train_mask.size() != dataset_->num_triples()) {
+    return Status::InvalidArgument("train_mask size != num_triples");
+  }
+  train_mask_ = train_mask;
+  FUSER_ASSIGN_OR_RETURN(
+      quality_, EstimateSourceQuality(*dataset_, train_mask_,
+                                      options_.model.ToQualityOptions()));
+  model_.reset();
+  prepared_ = true;
+  return Status::OK();
+}
+
+Status FusionEngine::EnsureModel() {
+  if (!prepared_) {
+    return Status::FailedPrecondition("call Prepare before Run");
+  }
+  if (model_.has_value()) {
+    return Status::OK();
+  }
+  FUSER_ASSIGN_OR_RETURN(
+      CorrelationModel model,
+      BuildCorrelationModel(*dataset_, train_mask_, options_.model));
+  model_ = std::move(model);
+  return Status::OK();
+}
+
+StatusOr<const CorrelationModel*> FusionEngine::GetModel() {
+  FUSER_RETURN_IF_ERROR(EnsureModel());
+  return static_cast<const CorrelationModel*>(&*model_);
+}
+
+StatusOr<FusionRun> FusionEngine::Run(const MethodSpec& spec) {
+  if (!prepared_) {
+    return Status::FailedPrecondition("call Prepare before Run");
+  }
+  // Correlated methods need the model; build it outside the timed section
+  // (it is shared across methods, like the paper's offline parameters).
+  const bool needs_model = spec.kind == MethodKind::kPrecRecCorr ||
+                           spec.kind == MethodKind::kAggressive ||
+                           spec.kind == MethodKind::kElastic;
+  if (needs_model) {
+    FUSER_RETURN_IF_ERROR(EnsureModel());
+  }
+
+  FusionRun run;
+  run.spec = spec;
+  run.threshold = options_.decision_threshold;
+
+  WallTimer timer;
+  switch (spec.kind) {
+    case MethodKind::kUnion: {
+      UnionKOptions union_options;
+      union_options.percent = spec.union_percent;
+      union_options.use_scopes = options_.model.use_scopes;
+      FUSER_ASSIGN_OR_RETURN(run.scores,
+                             UnionKScores(*dataset_, union_options));
+      run.threshold = UnionKThreshold(spec.union_percent);
+      break;
+    }
+    case MethodKind::kThreeEstimates: {
+      FUSER_ASSIGN_OR_RETURN(
+          run.scores, ThreeEstimatesScores(*dataset_,
+                                           options_.three_estimates));
+      break;
+    }
+    case MethodKind::kCosine: {
+      FUSER_ASSIGN_OR_RETURN(run.scores,
+                             CosineScores(*dataset_, options_.cosine));
+      break;
+    }
+    case MethodKind::kLtm: {
+      FUSER_ASSIGN_OR_RETURN(run.scores, LtmScores(*dataset_, options_.ltm));
+      break;
+    }
+    case MethodKind::kPrecRec: {
+      PrecRecOptions precrec_options;
+      precrec_options.alpha = options_.model.alpha;
+      precrec_options.use_scopes = options_.model.use_scopes;
+      FUSER_ASSIGN_OR_RETURN(
+          run.scores, PrecRecScores(*dataset_, quality_, precrec_options));
+      break;
+    }
+    case MethodKind::kPrecRecCorr: {
+      FUSER_ASSIGN_OR_RETURN(
+          run.scores, PrecRecCorrScores(*dataset_, *model_, options_.corr));
+      break;
+    }
+    case MethodKind::kAggressive: {
+      FUSER_ASSIGN_OR_RETURN(run.scores,
+                             AggressiveScores(*dataset_, *model_));
+      break;
+    }
+    case MethodKind::kElastic: {
+      ElasticOptions elastic_options;
+      elastic_options.level = spec.elastic_level;
+      elastic_options.num_threads = options_.num_threads;
+      FUSER_ASSIGN_OR_RETURN(
+          run.scores, ElasticScores(*dataset_, *model_, elastic_options));
+      break;
+    }
+  }
+  run.seconds = timer.ElapsedSeconds();
+  return run;
+}
+
+StatusOr<EvalSummary> FusionEngine::Evaluate(
+    const FusionRun& run, const DynamicBitset& eval_mask) const {
+  EvalSummary summary;
+  summary.counts =
+      EvaluateDecisions(*dataset_, run.scores, eval_mask, run.threshold);
+  summary.precision = summary.counts.Precision();
+  summary.recall = summary.counts.Recall();
+  summary.f1 = summary.counts.F1();
+  FUSER_ASSIGN_OR_RETURN(RankedCurves curves,
+                         ComputeRankedCurves(*dataset_, run.scores,
+                                             eval_mask));
+  summary.auc_pr = curves.auc_pr;
+  summary.auc_roc = curves.auc_roc;
+  summary.seconds = run.seconds;
+  return summary;
+}
+
+StatusOr<EvalSummary> FusionEngine::RunAndEvaluate(
+    const MethodSpec& spec, const DynamicBitset& eval_mask) {
+  FUSER_ASSIGN_OR_RETURN(FusionRun run, Run(spec));
+  return Evaluate(run, eval_mask);
+}
+
+}  // namespace fuser

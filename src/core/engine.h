@@ -1,0 +1,136 @@
+// FusionEngine: the library's one-stop public API.
+//
+// Typical use:
+//   Dataset dataset = ...;                       // build or load
+//   EngineOptions options;
+//   options.model.alpha = 0.5;
+//   FusionEngine engine(&dataset, options);
+//   engine.Prepare(FullGoldSplit(dataset).train);  // estimate parameters
+//   auto run = engine.Run({MethodKind::kPrecRecCorr});
+//   auto eval = engine.Evaluate(*run, dataset.labeled_mask());
+//
+// The engine estimates source quality and the correlation model from the
+// training mask, runs any of the implemented fusion methods, and evaluates
+// decisions and ranking quality against the gold standard.
+#ifndef FUSER_CORE_ENGINE_H_
+#define FUSER_CORE_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/cosine.h"
+#include "baselines/ltm.h"
+#include "baselines/three_estimates.h"
+#include "baselines/union_k.h"
+#include "common/bitset.h"
+#include "common/status.h"
+#include "core/correlation_model.h"
+#include "core/elastic.h"
+#include "core/precrec.h"
+#include "core/precrec_corr.h"
+#include "model/dataset.h"
+#include "stats/curves.h"
+#include "stats/metrics.h"
+
+namespace fuser {
+
+enum class MethodKind {
+  kUnion,           // Union-K voting (K = union_percent)
+  kThreeEstimates,  // Galland et al. baseline
+  kCosine,          // Galland et al. baseline
+  kLtm,             // Latent Truth Model (Zhao et al.)
+  kPrecRec,         // Theorem 3.1 (independence)
+  kPrecRecCorr,     // Theorem 4.2 (exact)
+  kAggressive,      // Definition 4.5
+  kElastic,         // Algorithm 1 at elastic_level
+};
+
+struct MethodSpec {
+  MethodKind kind = MethodKind::kPrecRecCorr;
+  double union_percent = 50.0;
+  int elastic_level = 3;
+
+  /// Canonical name, e.g. "union-25", "precrec", "elastic-3".
+  std::string Name() const;
+};
+
+/// Parses names like "union-25", "majority", "3estimates", "cosine", "ltm",
+/// "precrec", "precrec-corr", "aggressive", "elastic-2".
+StatusOr<MethodSpec> ParseMethodSpec(const std::string& name);
+
+struct EngineOptions {
+  ModelOptions model;
+  /// Accept a triple when score >= decision_threshold (paper: 0.5).
+  double decision_threshold = 0.5;
+  size_t num_threads = 1;
+  ThreeEstimatesOptions three_estimates;
+  CosineOptions cosine;
+  LtmOptions ltm;
+  PrecRecCorrOptions corr;
+};
+
+/// Output of one method execution.
+struct FusionRun {
+  MethodSpec spec;
+  std::vector<double> scores;  // per TripleId, in [0, 1]
+  double threshold = 0.5;      // decision threshold used for this method
+  double seconds = 0.0;        // scoring wall time (excludes Prepare)
+};
+
+/// Decision and ranking quality of a run on an evaluation set.
+struct EvalSummary {
+  ConfusionCounts counts;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double auc_pr = 0.0;
+  double auc_roc = 0.0;
+  double seconds = 0.0;
+};
+
+class FusionEngine {
+ public:
+  /// `dataset` must outlive the engine and be finalized.
+  FusionEngine(const Dataset* dataset, EngineOptions options);
+
+  /// Estimates source quality from `train_mask` (labeled triples). Must be
+  /// called before Run. The correlation model is built lazily on the first
+  /// correlated-method Run.
+  Status Prepare(const DynamicBitset& train_mask);
+
+  /// Runs one method over the full dataset.
+  StatusOr<FusionRun> Run(const MethodSpec& spec);
+
+  /// Evaluates decisions (threshold) and ranking (curves) on `eval_mask`.
+  StatusOr<EvalSummary> Evaluate(const FusionRun& run,
+                                 const DynamicBitset& eval_mask) const;
+
+  /// Convenience: Run followed by Evaluate.
+  StatusOr<EvalSummary> RunAndEvaluate(const MethodSpec& spec,
+                                       const DynamicBitset& eval_mask);
+
+  /// The correlation model (builds it if not yet built).
+  StatusOr<const CorrelationModel*> GetModel();
+
+  /// Per-source quality estimated by Prepare.
+  const std::vector<SourceQuality>& source_quality() const {
+    return quality_;
+  }
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  Status EnsureModel();
+
+  const Dataset* dataset_;
+  EngineOptions options_;
+  bool prepared_ = false;
+  DynamicBitset train_mask_;
+  std::vector<SourceQuality> quality_;
+  std::optional<CorrelationModel> model_;
+};
+
+}  // namespace fuser
+
+#endif  // FUSER_CORE_ENGINE_H_

@@ -1,0 +1,356 @@
+#include "core/joint_stats.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace fuser {
+
+namespace {
+
+/// q = alpha/(1-alpha) * (num_false + s) / (den_true + 2s), the count-level
+/// form of Theorem 3.5 (identical to deriving from smoothed p and r, but
+/// well-defined when no provided triple is true).
+double FprFromCounts(double num_false, double den_true, double smoothing,
+                     double alpha) {
+  double denom = den_true + 2.0 * smoothing;
+  if (denom <= 0.0) return 0.0;
+  double q = alpha / (1.0 - alpha) * (num_false + smoothing) / denom;
+  return std::clamp(q, 0.0, 1.0);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<EmpiricalJointStats>> EmpiricalJointStats::Create(
+    const Dataset& dataset, const DynamicBitset& train_mask,
+    const std::vector<SourceId>& cluster_sources,
+    const JointStatsOptions& options) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  if (cluster_sources.empty() || cluster_sources.size() > 64) {
+    return Status::InvalidArgument("cluster must have 1..64 sources");
+  }
+  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0,1)");
+  }
+  if (options.smoothing < 0.0) {
+    return Status::InvalidArgument("smoothing must be >= 0");
+  }
+
+  auto stats = std::unique_ptr<EmpiricalJointStats>(new EmpiricalJointStats());
+  stats->k_ = static_cast<int>(cluster_sources.size());
+  stats->options_ = options;
+
+  // Map each training triple to its cluster-local (providers, scope) masks
+  // and aggregate identical patterns.
+  std::unordered_map<std::pair<Mask, Mask>, uint32_t, MaskPairHash> agg_true;
+  std::unordered_map<std::pair<Mask, Mask>, uint32_t, MaskPairHash> agg_false;
+  const Mask full = FullMask(stats->k_);
+  DynamicBitset train_labeled = dataset.labeled_mask();
+  train_labeled.AndWith(train_mask);
+  train_labeled.ForEach([&](size_t t) {
+    TripleId triple = static_cast<TripleId>(t);
+    Mask prov = 0;
+    Mask scope = options.use_scopes ? Mask{0} : full;
+    for (int i = 0; i < stats->k_; ++i) {
+      SourceId s = cluster_sources[static_cast<size_t>(i)];
+      if (dataset.provides(s, triple)) prov = WithBit(prov, i);
+      if (options.use_scopes && dataset.in_scope(s, triple)) {
+        scope = WithBit(scope, i);
+      }
+    }
+    auto& agg = dataset.label(triple) == Label::kTrue ? agg_true : agg_false;
+    ++agg[{prov, scope}];
+  });
+
+  auto flatten = [](const std::unordered_map<std::pair<Mask, Mask>, uint32_t,
+                                             MaskPairHash>& agg,
+                    std::vector<Pattern>* out, size_t* total) {
+    out->reserve(agg.size());
+    for (const auto& [key, count] : agg) {
+      out->push_back({key.first, key.second, count});
+      *total += count;
+    }
+  };
+  flatten(agg_true, &stats->true_patterns_, &stats->total_true_);
+  flatten(agg_false, &stats->false_patterns_, &stats->total_false_);
+
+  // Sum-over-supersets tables for O(1) joint lookups on small clusters.
+  if (stats->k_ <= options.sos_table_max_bits) {
+    const size_t size = size_t{1} << stats->k_;
+    stats->sup_true_.assign(size, 0);
+    stats->sup_false_.assign(size, 0);
+    for (const Pattern& p : stats->true_patterns_) {
+      stats->sup_true_[p.providers] += p.count;
+    }
+    for (const Pattern& p : stats->false_patterns_) {
+      stats->sup_false_[p.providers] += p.count;
+    }
+    if (options.use_scopes) {
+      stats->sup_scope_true_.assign(size, 0);
+      for (const Pattern& p : stats->true_patterns_) {
+        stats->sup_scope_true_[p.scope] += p.count;
+      }
+    }
+    auto sos = [&](std::vector<uint32_t>* table) {
+      for (int bit = 0; bit < stats->k_; ++bit) {
+        const Mask bit_mask = Mask{1} << bit;
+        for (Mask m = 0; m < size; ++m) {
+          if (!(m & bit_mask)) {
+            (*table)[m] += (*table)[m | bit_mask];
+          }
+        }
+      }
+    };
+    sos(&stats->sup_true_);
+    sos(&stats->sup_false_);
+    if (options.use_scopes) sos(&stats->sup_scope_true_);
+    stats->has_tables_ = true;
+  }
+  return stats;
+}
+
+EmpiricalJointStats::Counts EmpiricalJointStats::ComputeCounts(
+    Mask subset) const {
+  Counts counts;
+  if (has_tables_) {
+    counts.num_true = sup_true_[subset];
+    counts.num_false = sup_false_[subset];
+    counts.den_true =
+        options_.use_scopes ? sup_scope_true_[subset] : total_true_;
+    return counts;
+  }
+  for (const Pattern& p : true_patterns_) {
+    if ((p.providers & subset) == subset) counts.num_true += p.count;
+    if (options_.use_scopes && (p.scope & subset) == subset) {
+      counts.den_true += p.count;
+    }
+  }
+  if (!options_.use_scopes) counts.den_true = total_true_;
+  for (const Pattern& p : false_patterns_) {
+    if ((p.providers & subset) == subset) counts.num_false += p.count;
+  }
+  return counts;
+}
+
+const EmpiricalJointStats::Counts& EmpiricalJointStats::CachedCounts(
+    Mask subset) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = memo_.find(subset);
+  if (it != memo_.end()) return it->second;
+  Counts counts = ComputeCounts(subset);
+  return memo_.emplace(subset, counts).first->second;
+}
+
+JointQuality EmpiricalJointStats::Get(Mask subset) const {
+  FUSER_CHECK_EQ(subset & ~FullMask(k_), 0u) << "mask outside cluster";
+  if (subset == 0) {
+    // Convention: every source in the empty set provides every triple.
+    return {options_.alpha, 1.0, 1.0};
+  }
+  Counts counts = has_tables_ ? ComputeCounts(subset) : CachedCounts(subset);
+  const double s = options_.smoothing;
+  const double nt = static_cast<double>(counts.num_true);
+  const double nf = static_cast<double>(counts.num_false);
+  const double den = static_cast<double>(counts.den_true);
+
+  JointQuality quality;
+  if (nt + nf == 0.0 && s == 0.0) {
+    quality.precision = options_.alpha;  // no evidence: fall back to prior
+  } else {
+    quality.precision = (nt + s) / (nt + nf + 2.0 * s);
+  }
+  quality.recall = (den + 2.0 * s) > 0.0 ? (nt + s) / (den + 2.0 * s) : 0.0;
+  quality.fpr = FprFromCounts(nf, den, s, options_.alpha);
+  return quality;
+}
+
+size_t EmpiricalJointStats::CountTrueSuperset(Mask subset) const {
+  return has_tables_ ? ComputeCounts(subset).num_true
+                     : CachedCounts(subset).num_true;
+}
+
+size_t EmpiricalJointStats::CountFalseSuperset(Mask subset) const {
+  return has_tables_ ? ComputeCounts(subset).num_false
+                     : CachedCounts(subset).num_false;
+}
+
+Status EmpiricalJointStats::ExactPatternLikelihood(
+    Mask providers, Mask nonproviders, double* pr_given_true,
+    double* pr_given_false) const {
+  if (!SupportsExactLikelihood()) {
+    return Status::FailedPrecondition(
+        "exact likelihood requires smoothing == 0");
+  }
+  if ((providers & nonproviders) != 0) {
+    return Status::InvalidArgument("providers and nonproviders overlap");
+  }
+  if (total_true_ == 0) {
+    return Status::FailedPrecondition("no true training triples");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = exact_memo_.find({providers, nonproviders});
+    if (it != exact_memo_.end()) {
+      *pr_given_true = it->second.first;
+      *pr_given_false = it->second.second;
+      return Status::OK();
+    }
+  }
+  // Scope-aware: the likelihoods condition on the observed scope - counts
+  // run over training triples whose scope covers every source with an
+  // opinion (P union N), so the denominators are consistent.
+  const Mask observed = providers | nonproviders;
+  size_t cnt_true = 0;
+  size_t cnt_false = 0;
+  size_t den_true = 0;
+  size_t den_false = 0;
+  auto matches_scope = [&](const Pattern& p) {
+    return !options_.use_scopes || (p.scope & observed) == observed;
+  };
+  for (const Pattern& p : true_patterns_) {
+    if (!matches_scope(p)) continue;
+    den_true += p.count;
+    if ((p.providers & providers) == providers &&
+        (p.providers & nonproviders) == 0) {
+      cnt_true += p.count;
+    }
+  }
+  for (const Pattern& p : false_patterns_) {
+    if (!matches_scope(p)) continue;
+    den_false += p.count;
+    if ((p.providers & providers) == providers &&
+        (p.providers & nonproviders) == 0) {
+      cnt_false += p.count;
+    }
+  }
+  const double alpha_odds = options_.alpha / (1.0 - options_.alpha);
+  double pt;
+  double pf;
+  if (den_true == 0) {
+    // No training triple with this scope: the cluster is uninformative.
+    pt = 1.0;
+    pf = 1.0;
+  } else {
+    const double tt = static_cast<double>(den_true);
+    pt = static_cast<double>(cnt_true) / tt;
+    pf = alpha_odds * static_cast<double>(cnt_false) / tt;
+    if (providers == 0) {
+      // The S* = empty term uses q of the empty set (== 1), not the
+      // count-derived value; add the difference (can make pf leave [0,1]
+      // when the derived q parameters are inconsistent; callers clamp).
+      pf += 1.0 - alpha_odds * static_cast<double>(den_false) / tt;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    exact_memo_.emplace(std::make_pair(providers, nonproviders),
+                        std::make_pair(pt, pf));
+  }
+  *pr_given_true = pt;
+  *pr_given_false = pf;
+  return Status::OK();
+}
+
+Status EmpiricalJointStats::CalibratedPatternLikelihood(
+    Mask providers, Mask nonproviders, double* pr_given_true,
+    double* pr_given_false) const {
+  if (!SupportsCalibratedLikelihood()) {
+    return Status::FailedPrecondition(
+        "calibrated likelihood requires smoothing == 0");
+  }
+  if ((providers & nonproviders) != 0) {
+    return Status::InvalidArgument("providers and nonproviders overlap");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = calibrated_memo_.find({providers, nonproviders});
+    if (it != calibrated_memo_.end()) {
+      *pr_given_true = it->second.first;
+      *pr_given_false = it->second.second;
+      return Status::OK();
+    }
+  }
+  const Mask observed = providers | nonproviders;
+  size_t cnt_true = 0;
+  size_t cnt_false = 0;
+  size_t den_true = 0;
+  size_t den_false = 0;
+  auto matches_scope = [&](const Pattern& p) {
+    return !options_.use_scopes || (p.scope & observed) == observed;
+  };
+  auto matches_pattern = [&](const Pattern& p) {
+    return (p.providers & providers) == providers &&
+           (p.providers & nonproviders) == 0;
+  };
+  for (const Pattern& p : true_patterns_) {
+    if (!matches_scope(p)) continue;
+    den_true += p.count;
+    if (matches_pattern(p)) cnt_true += p.count;
+  }
+  for (const Pattern& p : false_patterns_) {
+    if (!matches_scope(p)) continue;
+    den_false += p.count;
+    if (matches_pattern(p)) cnt_false += p.count;
+  }
+  // Laplace-smoothed natural conditionals; +0.5/+1 keeps both likelihoods
+  // strictly positive and tempers one-count patterns.
+  double pt = (static_cast<double>(cnt_true) + 0.5) /
+              (static_cast<double>(den_true) + 1.0);
+  double pf = (static_cast<double>(cnt_false) + 0.5) /
+              (static_cast<double>(den_false) + 1.0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    calibrated_memo_.emplace(std::make_pair(providers, nonproviders),
+                             std::make_pair(pt, pf));
+  }
+  *pr_given_true = pt;
+  *pr_given_false = pf;
+  return Status::OK();
+}
+
+ExplicitJointStats::ExplicitJointStats(std::vector<JointQuality> singletons,
+                                       double alpha)
+    : singles_(std::move(singletons)), alpha_(alpha) {
+  FUSER_CHECK_LE(singles_.size(), 64u);
+  FUSER_CHECK_GT(alpha_, 0.0);
+  FUSER_CHECK_LT(alpha_, 1.0);
+}
+
+void ExplicitJointStats::SetJoint(Mask subset, JointQuality quality) {
+  FUSER_CHECK_GE(PopCount(subset), 2);
+  joints_[subset] = quality;
+}
+
+JointQuality ExplicitJointStats::Get(Mask subset) const {
+  FUSER_CHECK_EQ(subset & ~FullMask(num_sources()), 0u)
+      << "mask outside cluster";
+  if (subset == 0) {
+    return {alpha_, 1.0, 1.0};
+  }
+  if (PopCount(subset) == 1) {
+    return singles_[static_cast<size_t>(LowestBit(subset))];
+  }
+  auto it = joints_.find(subset);
+  if (it != joints_.end()) {
+    return it->second;
+  }
+  // Fallback: independence over the member sources.
+  double r = 1.0;
+  double q = 1.0;
+  ForEachBit(subset, [&](int i) {
+    r *= singles_[static_cast<size_t>(i)].recall;
+    q *= singles_[static_cast<size_t>(i)].fpr;
+  });
+  JointQuality quality;
+  quality.recall = r;
+  quality.fpr = q;
+  double num = alpha_ * r;
+  double den = alpha_ * r + (1.0 - alpha_) * q;
+  quality.precision = den > 0.0 ? num / den : alpha_;
+  return quality;
+}
+
+}  // namespace fuser

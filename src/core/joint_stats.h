@@ -1,0 +1,220 @@
+// Joint quality statistics over subsets of sources (Section 4).
+//
+// For a subset S* of sources, the joint precision p_{S*} is the fraction of
+// triples provided by *all* sources of S* that are true, and the joint
+// recall r_{S*} is the fraction of true triples provided by all of S*
+// (Eq. 3-4). The joint false positive rate q_{S*} is derived from them via
+// Theorem 3.5, which for empirical counts reduces to
+//   q_{S*} = alpha/(1-alpha) * |false triples provided by all of S*| /
+//            |true triples|.
+//
+// Subsets live inside a correlation *cluster* of at most 64 sources and are
+// represented as bit masks over cluster-local indices.
+//
+// Two implementations:
+//  * EmpiricalJointStats - counts from training data; memoized, with an
+//    optional sum-over-supersets table for O(1) lookups, and a direct
+//    "exact pattern" likelihood used by the exact PrecRecCorr fast path.
+//  * ExplicitJointStats - parameters supplied by the caller (used by tests
+//    reproducing the paper's worked examples, and available to users who
+//    know their correlation structure).
+#ifndef FUSER_CORE_JOINT_STATS_H_
+#define FUSER_CORE_JOINT_STATS_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/bitset.h"
+#include "common/status.h"
+#include "core/quality.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+/// Joint quality of a subset of sources.
+struct JointQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  double fpr = 0.0;
+};
+
+/// Interface for joint statistics within one cluster.
+class JointStatsProvider {
+ public:
+  virtual ~JointStatsProvider() = default;
+
+  /// Number of sources k in the cluster; masks use bits [0, k).
+  virtual int num_sources() const = 0;
+
+  /// The a priori probability alpha used for fpr derivation.
+  virtual double alpha() const = 0;
+
+  /// Joint quality of the non-empty subset `subset`. For the empty subset
+  /// the conventions r = q = 1 apply (every source in the empty set
+  /// trivially provides every triple); Get(0) returns that convention.
+  virtual JointQuality Get(Mask subset) const = 0;
+
+  /// True when ExactPatternLikelihood is available (empirical stats with no
+  /// smoothing).
+  virtual bool SupportsExactLikelihood() const { return false; }
+
+  /// Direct computation of Pr(Ot | t) and Pr(Ot | !t) for the observation
+  /// "all of `providers` provide t, none of `nonproviders` does", via the
+  /// inclusion-exclusion identity (Eqs. 10-11 collapse to exact pattern
+  /// counts when all parameters share denominators).
+  virtual Status ExactPatternLikelihood(Mask providers, Mask nonproviders,
+                                        double* pr_given_true,
+                                        double* pr_given_false) const {
+    return Status::Unimplemented("exact likelihood not supported");
+  }
+
+  /// True when CalibratedPatternLikelihood is available.
+  virtual bool SupportsCalibratedLikelihood() const { return false; }
+
+  /// Calibrated variant of the exact likelihood: natural class-conditional
+  /// frequencies Pr(obs | true) and Pr(obs | false) with Laplace smoothing
+  /// (+0.5 / +1), instead of the paper's alpha-scaled q parameterization.
+  /// The paper-literal form (Theorem 3.5 scaling plus the q_empty = 1
+  /// convention) is faithful for a single cluster but is not a consistent
+  /// probability measure: with many clusters and imbalanced classes its
+  /// q-side sums can go negative (observed on BOOK-scale data). The
+  /// calibrated form is plain naive Bayes over cluster observation
+  /// patterns and is the default for empirical models.
+  virtual Status CalibratedPatternLikelihood(Mask providers,
+                                             Mask nonproviders,
+                                             double* pr_given_true,
+                                             double* pr_given_false) const {
+    return Status::Unimplemented("calibrated likelihood not supported");
+  }
+
+  /// The empirical prior Pr(t) observed in the training data, used as the
+  /// prior for calibrated-likelihood inference (the paper's alpha-scaled
+  /// parameterization bakes the empirical class ratio into its q values;
+  /// the calibrated form must supply it explicitly).
+  virtual double EmpiricalPriorTrue() const { return alpha(); }
+};
+
+struct JointStatsOptions {
+  double alpha = 0.5;
+  double smoothing = 0.0;
+  bool use_scopes = false;
+  /// Build a 3*2^k-entry sum-over-supersets table when the cluster has at
+  /// most this many sources (O(1) joint lookups). Above it, lookups scan
+  /// the distinct observation patterns and are memoized.
+  int sos_table_max_bits = 20;
+};
+
+/// Joint statistics estimated from the training triples of a dataset.
+class EmpiricalJointStats : public JointStatsProvider {
+ public:
+  /// `cluster_sources` lists the global source ids of the cluster (size
+  /// <= 64); `train_mask` selects the labeled training triples.
+  static StatusOr<std::unique_ptr<EmpiricalJointStats>> Create(
+      const Dataset& dataset, const DynamicBitset& train_mask,
+      const std::vector<SourceId>& cluster_sources,
+      const JointStatsOptions& options);
+
+  int num_sources() const override { return k_; }
+  double alpha() const override { return options_.alpha; }
+  JointQuality Get(Mask subset) const override;
+  bool SupportsExactLikelihood() const override {
+    return options_.smoothing == 0.0;
+  }
+  Status ExactPatternLikelihood(Mask providers, Mask nonproviders,
+                                double* pr_given_true,
+                                double* pr_given_false) const override;
+  bool SupportsCalibratedLikelihood() const override {
+    return options_.smoothing == 0.0;
+  }
+  Status CalibratedPatternLikelihood(Mask providers, Mask nonproviders,
+                                     double* pr_given_true,
+                                     double* pr_given_false) const override;
+  double EmpiricalPriorTrue() const override {
+    return (static_cast<double>(total_true_) + 0.5) /
+           (static_cast<double>(total_true_ + total_false_) + 1.0);
+  }
+
+  /// Raw superset counts (diagnostics and tests).
+  size_t CountTrueSuperset(Mask subset) const;
+  size_t CountFalseSuperset(Mask subset) const;
+  size_t total_true() const { return total_true_; }
+  size_t total_false() const { return total_false_; }
+
+ private:
+  struct Pattern {
+    Mask providers = 0;
+    Mask scope = 0;
+    uint32_t count = 0;
+  };
+  struct Counts {
+    size_t num_true = 0;
+    size_t num_false = 0;
+    size_t den_true = 0;  // scope-restricted true-count denominator
+  };
+
+  EmpiricalJointStats() = default;
+
+  Counts ComputeCounts(Mask subset) const;
+  const Counts& CachedCounts(Mask subset) const;
+
+  int k_ = 0;
+  JointStatsOptions options_;
+  std::vector<Pattern> true_patterns_;
+  std::vector<Pattern> false_patterns_;
+  size_t total_true_ = 0;
+  size_t total_false_ = 0;
+
+  // Sum-over-supersets tables (index = mask), built when k_ is small.
+  bool has_tables_ = false;
+  std::vector<uint32_t> sup_true_;
+  std::vector<uint32_t> sup_false_;
+  std::vector<uint32_t> sup_scope_true_;  // only populated with scopes
+
+  struct MaskPairHash {
+    size_t operator()(const std::pair<Mask, Mask>& p) const {
+      // splitmix-style mix of the two 64-bit masks.
+      uint64_t h = p.first * 0x9E3779B97F4A7C15ULL;
+      h ^= (h >> 30);
+      h += p.second * 0xBF58476D1CE4E5B9ULL;
+      h ^= (h >> 27);
+      return static_cast<size_t>(h * 0x94D049BB133111EBULL);
+    }
+  };
+
+  mutable std::mutex mu_;  // guards the memo maps under parallel scoring
+  mutable std::unordered_map<Mask, Counts> memo_;
+  mutable std::unordered_map<std::pair<Mask, Mask>, std::pair<double, double>,
+                             MaskPairHash>
+      exact_memo_;
+  mutable std::unordered_map<std::pair<Mask, Mask>, std::pair<double, double>,
+                             MaskPairHash>
+      calibrated_memo_;
+};
+
+/// Joint statistics supplied directly by the caller. Missing subsets fall
+/// back to the independence assumption over the singleton parameters.
+class ExplicitJointStats : public JointStatsProvider {
+ public:
+  /// `singletons[i]` gives (p, r, q) of cluster-local source i.
+  ExplicitJointStats(std::vector<JointQuality> singletons, double alpha);
+
+  /// Sets the joint quality of `subset` (popcount >= 2).
+  void SetJoint(Mask subset, JointQuality quality);
+
+  int num_sources() const override { return static_cast<int>(singles_.size()); }
+  double alpha() const override { return alpha_; }
+  JointQuality Get(Mask subset) const override;
+
+ private:
+  std::vector<JointQuality> singles_;
+  std::unordered_map<Mask, JointQuality> joints_;
+  double alpha_;
+};
+
+}  // namespace fuser
+
+#endif  // FUSER_CORE_JOINT_STATS_H_

@@ -1,0 +1,61 @@
+#include "core/precrec.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace fuser {
+
+double SourceLogContribution(const SourceQuality& quality, bool provides) {
+  double r = ClampProb(quality.recall);
+  double q = ClampProb(quality.fpr);
+  if (provides) {
+    return std::log(r) - std::log(q);
+  }
+  return std::log(1.0 - r) - std::log(1.0 - q);
+}
+
+StatusOr<std::vector<double>> PrecRecScores(
+    const Dataset& dataset, const std::vector<SourceQuality>& quality,
+    const PrecRecOptions& options) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  if (quality.size() != dataset.num_sources()) {
+    return Status::InvalidArgument("quality size != num_sources");
+  }
+  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0,1)");
+  }
+
+  const size_t n = dataset.num_sources();
+  std::vector<double> log_provide(n);
+  std::vector<double> log_silent(n);
+  double total_silent = 0.0;
+  for (size_t s = 0; s < n; ++s) {
+    log_provide[s] = SourceLogContribution(quality[s], /*provides=*/true);
+    log_silent[s] = SourceLogContribution(quality[s], /*provides=*/false);
+    total_silent += log_silent[s];
+  }
+
+  std::vector<double> scores(dataset.num_triples());
+  for (TripleId t = 0; t < dataset.num_triples(); ++t) {
+    double log_mu;
+    if (!options.use_scopes) {
+      // All sources have an opinion: start from everyone-silent and swap in
+      // the providers (O(|St|) per triple).
+      log_mu = total_silent;
+      for (SourceId s : dataset.providers(t)) {
+        log_mu += log_provide[s] - log_silent[s];
+      }
+    } else {
+      log_mu = 0.0;
+      for (SourceId s : dataset.in_scope_sources(t)) {
+        log_mu += dataset.provides(s, t) ? log_provide[s] : log_silent[s];
+      }
+    }
+    scores[t] = PosteriorFromLogMu(log_mu, options.alpha);
+  }
+  return scores;
+}
+
+}  // namespace fuser

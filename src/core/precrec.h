@@ -1,0 +1,37 @@
+// PrecRec: Bayesian fusion of independent sources (Theorem 3.1).
+//
+// For each triple t,
+//   mu = prod_{Si in St} r_i/q_i * prod_{Si in St-bar} (1-r_i)/(1-q_i)
+//   Pr(t | Ot) = 1 / (1 + (1-alpha)/alpha * 1/mu),
+// where St are the providers of t and St-bar the in-scope non-providers.
+// Computed in log space for numerical stability.
+#ifndef FUSER_CORE_PRECREC_H_
+#define FUSER_CORE_PRECREC_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/quality.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+struct PrecRecOptions {
+  double alpha = 0.5;
+  bool use_scopes = false;
+};
+
+/// Scores every triple of `dataset` with its correctness probability under
+/// the independence assumption. `quality` is indexed by SourceId.
+StatusOr<std::vector<double>> PrecRecScores(
+    const Dataset& dataset, const std::vector<SourceQuality>& quality,
+    const PrecRecOptions& options);
+
+/// The log of a single source's contribution to mu: log(r/q) when the
+/// source provides the triple, log((1-r)/(1-q)) when it is silent (with r
+/// and q clamped away from 0 and 1).
+double SourceLogContribution(const SourceQuality& quality, bool provides);
+
+}  // namespace fuser
+
+#endif  // FUSER_CORE_PRECREC_H_

@@ -1,0 +1,92 @@
+#include "core/quality.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace fuser {
+
+double DeriveFalsePositiveRate(double precision, double recall, double alpha) {
+  precision = ClampProb(precision);
+  alpha = ClampProb(alpha);
+  double q = alpha / (1.0 - alpha) * (1.0 - precision) / precision * recall;
+  return std::clamp(q, 0.0, 1.0);
+}
+
+bool FprDerivationValid(double precision, double recall, double alpha) {
+  double denom = precision + recall - precision * recall;
+  if (denom <= 0.0) return false;
+  return alpha <= precision / denom + 1e-12;
+}
+
+StatusOr<std::vector<SourceQuality>> EstimateSourceQuality(
+    const Dataset& dataset, const DynamicBitset& train_mask,
+    const QualityOptions& options) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0,1)");
+  }
+  if (options.smoothing < 0.0) {
+    return Status::InvalidArgument("smoothing must be >= 0");
+  }
+  if (train_mask.size() != dataset.num_triples()) {
+    return Status::InvalidArgument("train_mask size != num_triples");
+  }
+
+  // Training triples by class.
+  DynamicBitset train_true = dataset.true_mask();
+  train_true.AndWith(train_mask);
+  DynamicBitset train_labeled = dataset.labeled_mask();
+  train_labeled.AndWith(train_mask);
+
+  const size_t total_true = train_true.Count();
+  const double s = options.smoothing;
+
+  std::vector<SourceQuality> result(dataset.num_sources());
+  for (SourceId i = 0; i < dataset.num_sources(); ++i) {
+    SourceQuality& sq = result[i];
+    const DynamicBitset& output = dataset.output(i);
+    sq.provided_true = output.AndCount(train_true);
+    sq.provided_labeled = output.AndCount(train_labeled);
+
+    if (options.use_scopes) {
+      size_t in_scope_true = 0;
+      train_true.ForEach([&](size_t t) {
+        if (dataset.in_scope(i, static_cast<TripleId>(t))) ++in_scope_true;
+      });
+      sq.scope_true = in_scope_true;
+    } else {
+      sq.scope_true = total_true;
+    }
+
+    sq.precision = (static_cast<double>(sq.provided_true) + s) /
+                   (static_cast<double>(sq.provided_labeled) + 2.0 * s);
+    sq.recall = (static_cast<double>(sq.provided_true) + s) /
+                (static_cast<double>(sq.scope_true) + 2.0 * s);
+    if (sq.provided_labeled == 0 && s == 0.0) {
+      // Source provides no labeled triple: quality unknown; fall back to an
+      // uninformative prior so downstream ratios are neutral.
+      sq.precision = options.alpha;
+      sq.recall = 0.0;
+    }
+    if (sq.scope_true == 0 && s == 0.0) {
+      sq.recall = 0.0;
+    }
+    // Count-level form of Theorem 3.5: q = a/(1-a) * (1-p)/p * r =
+    // a/(1-a) * num_false / den_true. Equivalent to deriving from p and r
+    // but well-defined when the source provides no true triple.
+    double num_false =
+        static_cast<double>(sq.provided_labeled - sq.provided_true);
+    double den = static_cast<double>(sq.scope_true) + 2.0 * s;
+    sq.fpr = den > 0.0 ? std::clamp(options.alpha / (1.0 - options.alpha) *
+                                        (num_false + s) / den,
+                                    0.0, 1.0)
+                       : 0.0;
+  }
+  return result;
+}
+
+}  // namespace fuser

@@ -1,0 +1,68 @@
+// Source quality: precision, recall, and the derived false positive rate
+// (Sections 2.2 and 3.2 of the paper).
+//
+// Precision and recall are estimated from training data (a labeled subset
+// of the provided triples); the false positive rate is *derived* from them
+// via Theorem 3.5:
+//
+//   q = alpha/(1-alpha) * (1-p)/p * r
+//
+// rather than counted directly, so that the estimate is not biased by the
+// quality of the other sources (Example 3.4).
+#ifndef FUSER_CORE_QUALITY_H_
+#define FUSER_CORE_QUALITY_H_
+
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/status.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+/// Quality of one source (or of a set of sources, for joint quality).
+struct SourceQuality {
+  double precision = 0.0;
+  double recall = 0.0;
+  /// False positive rate q = Pr(S|=t | not t), derived via Theorem 3.5.
+  double fpr = 0.0;
+
+  /// Raw counts behind the estimates (pre-smoothing), for diagnostics.
+  size_t provided_labeled = 0;  // |O_i ∩ labeled ∩ train|
+  size_t provided_true = 0;     // |O_i ∩ true ∩ train|
+  size_t scope_true = 0;        // # true train triples in the source's scope
+
+  /// A source is "good" if r > q, i.e., it is more likely to provide a true
+  /// triple than a false one (Section 3.1).
+  bool IsGood() const { return recall > fpr; }
+};
+
+struct QualityOptions {
+  /// A priori probability that a triple is true (Pr(t) = alpha).
+  double alpha = 0.5;
+  /// Laplace smoothing: counts become (num + s) / (den + 2 s). 0 reproduces
+  /// the paper's direct ratios.
+  double smoothing = 0.0;
+  /// When true, a source's recall denominator counts only true triples in
+  /// domains the source covers ("scope" of its input, Section 2.2).
+  bool use_scopes = false;
+};
+
+/// Derives q from p and r per Theorem 3.5, clamping into [0, 1].
+double DeriveFalsePositiveRate(double precision, double recall, double alpha);
+
+/// Theorem 3.5 validity condition: alpha <= p / (p + r - p*r). Outside this
+/// range the derived q would exceed 1 (it is clamped).
+bool FprDerivationValid(double precision, double recall, double alpha);
+
+/// Estimates quality for every source from the training triples
+/// (`train_mask` must select labeled triples). Follows Section 3.2: the
+/// truth set is the set of true training triples provided by at least one
+/// source.
+StatusOr<std::vector<SourceQuality>> EstimateSourceQuality(
+    const Dataset& dataset, const DynamicBitset& train_mask,
+    const QualityOptions& options);
+
+}  // namespace fuser
+
+#endif  // FUSER_CORE_QUALITY_H_

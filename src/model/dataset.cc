@@ -1,0 +1,115 @@
+#include "model/dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fuser {
+
+SourceId Dataset::AddSource(const std::string& name) {
+  FUSER_CHECK(!finalized_) << "AddSource after Finalize";
+  auto it = source_index_.find(name);
+  FUSER_CHECK(it == source_index_.end()) << "duplicate source name: " << name;
+  SourceId id = static_cast<SourceId>(source_names_.size());
+  source_names_.push_back(name);
+  source_index_.emplace(name, id);
+  pending_observations_.emplace_back();
+  return id;
+}
+
+DomainId Dataset::InternDomain(const std::string& name) {
+  auto it = domain_index_.find(name);
+  if (it != domain_index_.end()) return it->second;
+  DomainId id = static_cast<DomainId>(domain_names_.size());
+  domain_names_.push_back(name);
+  domain_index_.emplace(name, id);
+  return id;
+}
+
+TripleId Dataset::AddTriple(const Triple& triple, const std::string& domain) {
+  FUSER_CHECK(!finalized_) << "AddTriple after Finalize";
+  TripleId existing = dict_.Lookup(triple);
+  if (existing != kInvalidTriple) return existing;
+  TripleId id = dict_.Intern(triple);
+  labels_.push_back(Label::kUnknown);
+  domains_.push_back(InternDomain(domain));
+  return id;
+}
+
+void Dataset::Provide(SourceId source, TripleId triple) {
+  FUSER_CHECK(!finalized_) << "Provide after Finalize";
+  FUSER_CHECK_LT(source, pending_observations_.size());
+  FUSER_CHECK_LT(triple, dict_.size());
+  pending_observations_[source].push_back(triple);
+}
+
+void Dataset::SetLabel(TripleId triple, bool is_true) {
+  FUSER_CHECK(!finalized_) << "SetLabel after Finalize";
+  FUSER_CHECK_LT(triple, labels_.size());
+  labels_[triple] = is_true ? Label::kTrue : Label::kFalse;
+}
+
+Status Dataset::Finalize() {
+  if (finalized_) {
+    return Status::FailedPrecondition("Finalize called twice");
+  }
+  if (source_names_.empty()) {
+    return Status::InvalidArgument("dataset has no sources");
+  }
+  if (dict_.size() == 0) {
+    return Status::InvalidArgument("dataset has no triples");
+  }
+  const size_t m = dict_.size();
+  const size_t n = source_names_.size();
+  const size_t num_domains = domain_names_.size();
+
+  outputs_.assign(n, DynamicBitset(m));
+  for (size_t s = 0; s < n; ++s) {
+    for (TripleId t : pending_observations_[s]) {
+      outputs_[s].Set(t);
+    }
+  }
+  pending_observations_.clear();
+  pending_observations_.shrink_to_fit();
+
+  providers_.assign(m, {});
+  for (size_t s = 0; s < n; ++s) {
+    outputs_[s].ForEach([&](size_t t) {
+      providers_[t].push_back(static_cast<SourceId>(s));
+    });
+  }
+
+  source_covers_domain_.assign(n, DynamicBitset(num_domains));
+  for (size_t s = 0; s < n; ++s) {
+    outputs_[s].ForEach(
+        [&](size_t t) { source_covers_domain_[s].Set(domains_[t]); });
+  }
+  domain_sources_.assign(num_domains, {});
+  for (size_t s = 0; s < n; ++s) {
+    source_covers_domain_[s].ForEach([&](size_t d) {
+      domain_sources_[d].push_back(static_cast<SourceId>(s));
+    });
+  }
+
+  true_mask_ = DynamicBitset(m);
+  labeled_mask_ = DynamicBitset(m);
+  for (size_t t = 0; t < m; ++t) {
+    if (labels_[t] != Label::kUnknown) {
+      labeled_mask_.Set(t);
+      if (labels_[t] == Label::kTrue) true_mask_.Set(t);
+    }
+  }
+
+  finalized_ = true;
+  return Status::OK();
+}
+
+StatusOr<SourceId> Dataset::FindSource(const std::string& name) const {
+  auto it = source_index_.find(name);
+  if (it == source_index_.end()) {
+    return Status::NotFound("unknown source: " + name);
+  }
+  return it->second;
+}
+
+}  // namespace fuser

@@ -1,0 +1,149 @@
+// Dataset: sources, their output triples, domains/scopes, and gold labels.
+//
+// Implements the paper's data model (Section 2.1): a set of sources
+// S = {S1..Sn}, outputs O = {O1..On}, and for each triple t the observation
+// set Ot. Open-world semantics: a source's *non*-provision of t is an
+// observation only if the source is "in scope" for t, i.e., provides some
+// other triple in t's domain; otherwise the source is silent about t.
+//
+// Usage:
+//   Dataset d;
+//   SourceId s = d.AddSource("extractor-1");
+//   TripleId t = d.AddTriple({"Obama", "profession", "president"}, "obama");
+//   d.Provide(s, t);
+//   d.SetLabel(t, /*is_true=*/true);
+//   d.Finalize();
+#ifndef FUSER_MODEL_DATASET_H_
+#define FUSER_MODEL_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/status.h"
+#include "model/triple.h"
+
+namespace fuser {
+
+/// Gold-standard label of a triple.
+enum class Label : uint8_t { kUnknown = 0, kFalse = 1, kTrue = 2 };
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // Dataset owns large bitsets; keep it move-only to avoid accidental
+  // deep copies.
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  // ---- Construction (before Finalize) ----
+
+  /// Registers a source; names must be unique.
+  SourceId AddSource(const std::string& name);
+
+  /// Interns a triple, assigning it to the domain named `domain` ("" means
+  /// the default global domain). Re-adding an existing triple returns its
+  /// id (and ignores a conflicting domain).
+  TripleId AddTriple(const Triple& triple, const std::string& domain = "");
+
+  /// Records that `source` outputs `triple` (Si |= t). Idempotent.
+  void Provide(SourceId source, TripleId triple);
+
+  /// Sets the gold label of a triple.
+  void SetLabel(TripleId triple, bool is_true);
+
+  /// Builds the derived indexes (provider lists, scope tables, gold
+  /// bitsets). Must be called once, after which the dataset is immutable.
+  Status Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  // ---- Sizes ----
+
+  size_t num_sources() const { return source_names_.size(); }
+  size_t num_triples() const { return dict_.size(); }
+  size_t num_domains() const { return domain_names_.size(); }
+
+  // ---- Triples & labels ----
+
+  const Triple& triple(TripleId t) const { return dict_.Get(t); }
+  TripleId FindTriple(const Triple& t) const { return dict_.Lookup(t); }
+  Label label(TripleId t) const { return labels_[t]; }
+  DomainId domain(TripleId t) const { return domains_[t]; }
+  const std::string& domain_name(DomainId d) const { return domain_names_[d]; }
+
+  /// Triples labeled true / triples with any label (as bitsets over ids).
+  /// Valid after Finalize().
+  const DynamicBitset& true_mask() const { return true_mask_; }
+  const DynamicBitset& labeled_mask() const { return labeled_mask_; }
+
+  size_t num_labeled() const { return labeled_mask_.Count(); }
+  size_t num_true() const { return true_mask_.Count(); }
+
+  // ---- Sources & observations ----
+
+  const std::string& source_name(SourceId s) const { return source_names_[s]; }
+
+  /// Id of the source named `name`, or an error if unknown.
+  StatusOr<SourceId> FindSource(const std::string& name) const;
+
+  /// The output set Oi of a source, as a bitset over triple ids.
+  const DynamicBitset& output(SourceId s) const { return outputs_[s]; }
+
+  bool provides(SourceId s, TripleId t) const { return outputs_[s].Test(t); }
+
+  /// Sources providing t (St), ascending. Valid after Finalize().
+  const std::vector<SourceId>& providers(TripleId t) const {
+    return providers_[t];
+  }
+
+  /// Sources in scope for t: those that provide at least one triple in t's
+  /// domain. Every provider of t is in scope. Valid after Finalize().
+  const std::vector<SourceId>& in_scope_sources(TripleId t) const {
+    return domain_sources_[domains_[t]];
+  }
+
+  bool in_scope(SourceId s, TripleId t) const {
+    return source_covers_domain_[s].Test(domains_[t]);
+  }
+
+  /// Number of triples a source provides.
+  size_t output_size(SourceId s) const { return outputs_[s].Count(); }
+
+ private:
+  DomainId InternDomain(const std::string& name);
+
+  bool finalized_ = false;
+
+  std::vector<std::string> source_names_;
+  std::unordered_map<std::string, SourceId> source_index_;
+
+  TripleDictionary dict_;
+  std::vector<Label> labels_;
+  std::vector<DomainId> domains_;
+
+  std::vector<std::string> domain_names_;
+  std::unordered_map<std::string, DomainId> domain_index_;
+
+  // outputs_[s] is a bitset over triples; rebuilt to full width in
+  // Finalize().
+  std::vector<DynamicBitset> outputs_;
+  // Sparse observations collected before Finalize().
+  std::vector<std::vector<TripleId>> pending_observations_;
+
+  // Derived (Finalize).
+  std::vector<std::vector<SourceId>> providers_;
+  std::vector<std::vector<SourceId>> domain_sources_;
+  std::vector<DynamicBitset> source_covers_domain_;
+  DynamicBitset true_mask_;
+  DynamicBitset labeled_mask_;
+};
+
+}  // namespace fuser
+
+#endif  // FUSER_MODEL_DATASET_H_

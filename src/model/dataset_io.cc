@@ -1,0 +1,101 @@
+#include "model/dataset_io.h"
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace fuser {
+
+StatusOr<Dataset> LoadDataset(const std::string& observations_path,
+                              const std::string& gold_path) {
+  FUSER_ASSIGN_OR_RETURN(std::vector<CsvRow> rows,
+                         ReadCsvFile(observations_path, '\t'));
+  Dataset dataset;
+  std::unordered_map<std::string, SourceId> seen_sources;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const CsvRow& row = rows[i];
+    if (row.size() != 4 && row.size() != 5) {
+      return Status::InvalidArgument(StrFormat(
+          "%s: row %zu has %zu fields, want 4 or 5", observations_path.c_str(),
+          i + 1, row.size()));
+    }
+    SourceId source;
+    auto it = seen_sources.find(row[0]);
+    if (it != seen_sources.end()) {
+      source = it->second;
+    } else {
+      source = dataset.AddSource(row[0]);
+      seen_sources.emplace(row[0], source);
+    }
+    const std::string domain = row.size() == 5 ? row[4] : "";
+    TripleId t = dataset.AddTriple({row[1], row[2], row[3]}, domain);
+    dataset.Provide(source, t);
+  }
+  if (!gold_path.empty()) {
+    FUSER_ASSIGN_OR_RETURN(std::vector<CsvRow> gold_rows,
+                           ReadCsvFile(gold_path, '\t'));
+    for (size_t i = 0; i < gold_rows.size(); ++i) {
+      const CsvRow& row = gold_rows[i];
+      if (row.size() != 4) {
+        return Status::InvalidArgument(
+            StrFormat("%s: row %zu has %zu fields, want 4", gold_path.c_str(),
+                      i + 1, row.size()));
+      }
+      Triple triple{row[0], row[1], row[2]};
+      TripleId t = dataset.FindTriple(triple);
+      if (t == kInvalidTriple) {
+        // Gold triples not provided by any source carry no observation and
+        // are skipped (the paper evaluates only provided triples).
+        continue;
+      }
+      if (row[3] == "true") {
+        dataset.SetLabel(t, true);
+      } else if (row[3] == "false") {
+        dataset.SetLabel(t, false);
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("%s: row %zu has label '%s', want true|false",
+                      gold_path.c_str(), i + 1, row[3].c_str()));
+      }
+    }
+  }
+  FUSER_RETURN_IF_ERROR(dataset.Finalize());
+  return dataset;
+}
+
+Status SaveObservations(const Dataset& dataset, const std::string& path) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  std::vector<CsvRow> rows;
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    dataset.output(s).ForEach([&](size_t t) {
+      const Triple& triple = dataset.triple(static_cast<TripleId>(t));
+      CsvRow row = {dataset.source_name(s), triple.subject, triple.predicate,
+                    triple.object};
+      const std::string& domain =
+          dataset.domain_name(dataset.domain(static_cast<TripleId>(t)));
+      if (!domain.empty()) row.push_back(domain);
+      rows.push_back(std::move(row));
+    });
+  }
+  return WriteCsvFile(path, rows, '\t');
+}
+
+Status SaveGold(const Dataset& dataset, const std::string& path) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  std::vector<CsvRow> rows;
+  for (TripleId t = 0; t < dataset.num_triples(); ++t) {
+    if (dataset.label(t) == Label::kUnknown) continue;
+    const Triple& triple = dataset.triple(t);
+    rows.push_back({triple.subject, triple.predicate, triple.object,
+                    dataset.label(t) == Label::kTrue ? "true" : "false"});
+  }
+  return WriteCsvFile(path, rows, '\t');
+}
+
+}  // namespace fuser

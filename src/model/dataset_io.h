@@ -1,0 +1,31 @@
+// TSV import/export for datasets.
+//
+// Observations file (one row per source-triple observation):
+//   source <TAB> subject <TAB> predicate <TAB> object [<TAB> domain]
+// Gold file (one row per labeled triple):
+//   subject <TAB> predicate <TAB> object <TAB> true|false
+// Lines starting with '#' and blank lines are skipped.
+#ifndef FUSER_MODEL_DATASET_IO_H_
+#define FUSER_MODEL_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+/// Loads a finalized dataset from an observations file and an optional gold
+/// file (pass "" to skip labels).
+StatusOr<Dataset> LoadDataset(const std::string& observations_path,
+                              const std::string& gold_path);
+
+/// Writes the observations of `dataset` in the TSV format above.
+Status SaveObservations(const Dataset& dataset, const std::string& path);
+
+/// Writes the gold labels of `dataset` (labeled triples only).
+Status SaveGold(const Dataset& dataset, const std::string& path);
+
+}  // namespace fuser
+
+#endif  // FUSER_MODEL_DATASET_IO_H_

@@ -1,0 +1,53 @@
+#include "model/split.h"
+
+#include <vector>
+
+namespace fuser {
+
+StatusOr<TrainTestSplit> StratifiedSplit(const Dataset& dataset,
+                                         double train_fraction, Rng* rng) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  if (train_fraction < 0.0 || train_fraction > 1.0) {
+    return Status::InvalidArgument("train_fraction must be in [0,1]");
+  }
+  std::vector<TripleId> true_ids;
+  std::vector<TripleId> false_ids;
+  dataset.labeled_mask().ForEach([&](size_t t) {
+    if (dataset.label(static_cast<TripleId>(t)) == Label::kTrue) {
+      true_ids.push_back(static_cast<TripleId>(t));
+    } else {
+      false_ids.push_back(static_cast<TripleId>(t));
+    }
+  });
+
+  TrainTestSplit split;
+  split.train = DynamicBitset(dataset.num_triples());
+  split.test = DynamicBitset(dataset.num_triples());
+
+  auto assign = [&](std::vector<TripleId>* ids) {
+    rng->Shuffle(ids);
+    size_t n_train = static_cast<size_t>(
+        train_fraction * static_cast<double>(ids->size()) + 0.5);
+    for (size_t i = 0; i < ids->size(); ++i) {
+      if (i < n_train) {
+        split.train.Set((*ids)[i]);
+      } else {
+        split.test.Set((*ids)[i]);
+      }
+    }
+  };
+  assign(&true_ids);
+  assign(&false_ids);
+  return split;
+}
+
+TrainTestSplit FullGoldSplit(const Dataset& dataset) {
+  TrainTestSplit split;
+  split.train = dataset.labeled_mask();
+  split.test = dataset.labeled_mask();
+  return split;
+}
+
+}  // namespace fuser

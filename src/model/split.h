@@ -1,0 +1,33 @@
+// Train/test splitting over labeled triples.
+//
+// Quality parameters are estimated from a training subset of the gold
+// standard (Section 3.2 "we compute them from a set of training data");
+// the split here is stratified so both classes appear in both halves.
+#ifndef FUSER_MODEL_SPLIT_H_
+#define FUSER_MODEL_SPLIT_H_
+
+#include "common/bitset.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+struct TrainTestSplit {
+  DynamicBitset train;  // over triple ids; subset of labeled triples
+  DynamicBitset test;   // labeled \ train
+};
+
+/// Splits the labeled triples of `dataset` into train/test with
+/// `train_fraction` of each label class (rounded) in train.
+StatusOr<TrainTestSplit> StratifiedSplit(const Dataset& dataset,
+                                         double train_fraction, Rng* rng);
+
+/// A "split" whose train and test masks are both the full labeled set.
+/// This mirrors the paper's evaluation setup, where source quality is
+/// computed "according to the gold standard" itself.
+TrainTestSplit FullGoldSplit(const Dataset& dataset);
+
+}  // namespace fuser
+
+#endif  // FUSER_MODEL_SPLIT_H_

@@ -1,0 +1,54 @@
+#include "model/triple.h"
+
+#include "common/logging.h"
+
+namespace fuser {
+
+namespace {
+// FNV-1a over a string, continuing from `h`.
+size_t HashCombine(size_t h, const std::string& s) {
+  constexpr size_t kPrime = 1099511628211ULL;
+  for (char c : s) {
+    h ^= static_cast<size_t>(static_cast<unsigned char>(c));
+    h *= kPrime;
+  }
+  h ^= 0xFF;  // field separator so {"ab",""} != {"a","b"}
+  h *= kPrime;
+  return h;
+}
+}  // namespace
+
+std::string Triple::ToString() const {
+  return "{" + subject + ", " + predicate + ", " + object + "}";
+}
+
+size_t TripleHash::operator()(const Triple& t) const {
+  size_t h = 14695981039346656037ULL;
+  h = HashCombine(h, t.subject);
+  h = HashCombine(h, t.predicate);
+  h = HashCombine(h, t.object);
+  return h;
+}
+
+TripleId TripleDictionary::Intern(const Triple& t) {
+  auto it = index_.find(t);
+  if (it != index_.end()) {
+    return it->second;
+  }
+  TripleId id = static_cast<TripleId>(triples_.size());
+  triples_.push_back(t);
+  index_.emplace(t, id);
+  return id;
+}
+
+TripleId TripleDictionary::Lookup(const Triple& t) const {
+  auto it = index_.find(t);
+  return it == index_.end() ? kInvalidTriple : it->second;
+}
+
+const Triple& TripleDictionary::Get(TripleId id) const {
+  FUSER_CHECK_LT(id, triples_.size());
+  return triples_[id];
+}
+
+}  // namespace fuser

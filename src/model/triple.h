@@ -1,0 +1,61 @@
+// Knowledge triples and interning.
+//
+// A triple is {subject, predicate, object} (equivalently a {row, column,
+// value} cell, per Section 2.1 of the paper). The dictionary interns triples
+// so that the rest of the system works with dense 32-bit TripleIds.
+#ifndef FUSER_MODEL_TRIPLE_H_
+#define FUSER_MODEL_TRIPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fuser {
+
+using TripleId = uint32_t;
+using SourceId = uint32_t;
+using DomainId = uint32_t;
+
+inline constexpr TripleId kInvalidTriple = static_cast<TripleId>(-1);
+
+/// A knowledge triple. Equality is field-wise.
+struct Triple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+
+  bool operator==(const Triple& other) const {
+    return subject == other.subject && predicate == other.predicate &&
+           object == other.object;
+  }
+
+  /// "{subject, predicate, object}" for messages and debugging.
+  std::string ToString() const;
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const;
+};
+
+/// Interns triples; ids are dense and assigned in insertion order.
+class TripleDictionary {
+ public:
+  /// Returns the id for `t`, adding it if new.
+  TripleId Intern(const Triple& t);
+
+  /// Returns the id for `t` or kInvalidTriple if absent.
+  TripleId Lookup(const Triple& t) const;
+
+  const Triple& Get(TripleId id) const;
+
+  size_t size() const { return triples_.size(); }
+
+ private:
+  std::vector<Triple> triples_;
+  std::unordered_map<Triple, TripleId, TripleHash> index_;
+};
+
+}  // namespace fuser
+
+#endif  // FUSER_MODEL_TRIPLE_H_

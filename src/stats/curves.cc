@@ -1,0 +1,81 @@
+#include "stats/curves.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fuser {
+
+StatusOr<RankedCurves> ComputeRankedCurves(const Dataset& dataset,
+                                           const std::vector<double>& scores,
+                                           const DynamicBitset& eval_mask) {
+  FUSER_CHECK_EQ(scores.size(), dataset.num_triples());
+  struct Item {
+    double score;
+    bool positive;
+  };
+  std::vector<Item> items;
+  eval_mask.ForEach([&](size_t t) {
+    Label gold = dataset.label(static_cast<TripleId>(t));
+    FUSER_CHECK(gold != Label::kUnknown);
+    items.push_back({scores[t], gold == Label::kTrue});
+  });
+  size_t num_pos = 0;
+  for (const Item& item : items) num_pos += item.positive ? 1 : 0;
+  size_t num_neg = items.size() - num_pos;
+  if (num_pos == 0 || num_neg == 0) {
+    return Status::FailedPrecondition(
+        "curves need at least one positive and one negative example");
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.score > b.score; });
+
+  RankedCurves curves;
+  curves.roc.push_back({0.0, 0.0});
+  // PR curves conventionally start at recall 0 with the precision of the
+  // first retrieved group; filled in below once known.
+  size_t tp = 0;
+  size_t fp = 0;
+  double prev_recall = 0.0;
+  double prev_fpr = 0.0;
+  double prev_tpr = 0.0;
+  size_t i = 0;
+  bool first_group = true;
+  while (i < items.size()) {
+    size_t j = i;
+    // Group of tied scores enters the ranking together.
+    while (j < items.size() && items[j].score == items[i].score) {
+      tp += items[j].positive ? 1 : 0;
+      fp += items[j].positive ? 0 : 1;
+      ++j;
+    }
+    double recall = static_cast<double>(tp) / static_cast<double>(num_pos);
+    double precision =
+        (tp + fp) == 0
+            ? 1.0
+            : static_cast<double>(tp) / static_cast<double>(tp + fp);
+    double fpr = static_cast<double>(fp) / static_cast<double>(num_neg);
+    double tpr = recall;
+
+    if (first_group) {
+      curves.pr.push_back({0.0, precision});
+      first_group = false;
+    }
+    curves.pr.push_back({recall, precision});
+    curves.roc.push_back({fpr, tpr});
+
+    // Average precision: precision of this group weighted by its recall
+    // increment.
+    curves.auc_pr += (recall - prev_recall) * precision;
+    // Trapezoid for ROC (correct under ties).
+    curves.auc_roc += (fpr - prev_fpr) * 0.5 * (tpr + prev_tpr);
+
+    prev_recall = recall;
+    prev_fpr = fpr;
+    prev_tpr = tpr;
+    i = j;
+  }
+  return curves;
+}
+
+}  // namespace fuser

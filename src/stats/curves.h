@@ -1,0 +1,39 @@
+// PR and ROC curves with their areas (AUC-PR, AUC-ROC).
+//
+// Following Section 5: triples are ranked in decreasing order of the
+// computed truthfulness score; adding triples gradually, the PR-curve plots
+// precision vs. recall and the ROC-curve plots true-positive rate vs.
+// false-positive rate. Tied scores are added as a group (one curve point
+// per distinct score).
+#ifndef FUSER_STATS_CURVES_H_
+#define FUSER_STATS_CURVES_H_
+
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/status.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+struct CurvePoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+struct RankedCurves {
+  std::vector<CurvePoint> pr;   // x=recall, y=precision
+  std::vector<CurvePoint> roc;  // x=false positive rate, y=true positive rate
+  double auc_pr = 0.0;   // average precision (step interpolation)
+  double auc_roc = 0.0;  // trapezoidal area; ties handled by grouping
+};
+
+/// Builds both curves from `scores` on the labeled triples of `eval_mask`.
+/// Requires at least one positive and one negative example.
+StatusOr<RankedCurves> ComputeRankedCurves(const Dataset& dataset,
+                                           const std::vector<double>& scores,
+                                           const DynamicBitset& eval_mask);
+
+}  // namespace fuser
+
+#endif  // FUSER_STATS_CURVES_H_

@@ -1,0 +1,263 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace fuser {
+
+namespace {
+
+/// Per-class view of the generation problem (the machinery is identical
+/// for true and false triples; only the per-source marginal rates differ).
+struct ClassPlan {
+  size_t universe = 0;
+  size_t labeled = 0;
+  std::vector<double> rate;          // marginal provide-probability
+  std::vector<int> partition;        // -1 = unrestricted
+  std::vector<double> fractions;     // partition fractions
+  const std::vector<GroupSpec>* groups = nullptr;
+};
+
+Status ValidateGroups(const std::vector<GroupSpec>& groups, size_t n) {
+  std::vector<bool> seen(n, false);
+  for (const GroupSpec& g : groups) {
+    if (g.rho <= 0.0 || g.rho > 1.0) {
+      return Status::InvalidArgument("group rho must be in (0, 1]");
+    }
+    if (g.members.size() < 2) {
+      return Status::InvalidArgument("group needs >= 2 members");
+    }
+    for (size_t m : g.members) {
+      if (m >= n) {
+        return Status::InvalidArgument("group member out of range");
+      }
+      if (seen[m]) {
+        return Status::InvalidArgument(
+            "source in more than one group of the same class");
+      }
+      seen[m] = true;
+    }
+  }
+  return Status::OK();
+}
+
+/// Partition id for triple index i in a class universe of size `universe`
+/// split by `fractions` (empty = single partition 0).
+int PartitionOfIndex(size_t i, size_t universe,
+                     const std::vector<double>& fractions) {
+  if (fractions.empty()) return 0;
+  double position = static_cast<double>(i) / static_cast<double>(universe);
+  double accum = 0.0;
+  for (size_t k = 0; k < fractions.size(); ++k) {
+    accum += fractions[k];
+    if (position < accum) return static_cast<int>(k);
+  }
+  return static_cast<int>(fractions.size()) - 1;
+}
+
+}  // namespace
+
+SyntheticConfig MakeIndependentConfig(size_t num_sources, size_t num_triples,
+                                      double fraction_true, double precision,
+                                      double recall, uint64_t seed) {
+  SyntheticConfig config;
+  config.num_true =
+      static_cast<size_t>(fraction_true * static_cast<double>(num_triples) +
+                          0.5);
+  config.num_false = num_triples - config.num_true;
+  config.sources.resize(num_sources);
+  for (size_t s = 0; s < num_sources; ++s) {
+    config.sources[s].name = StrFormat("source-%zu", s);
+    config.sources[s].precision = precision;
+    config.sources[s].recall = recall;
+  }
+  config.seed = seed;
+  return config;
+}
+
+StatusOr<Dataset> GenerateSynthetic(const SyntheticConfig& config) {
+  const size_t n = config.sources.size();
+  if (n == 0) {
+    return Status::InvalidArgument("no sources configured");
+  }
+  if (config.num_true == 0 || config.num_false == 0) {
+    return Status::InvalidArgument("need both true and false triples");
+  }
+  for (const SourceProfile& sp : config.sources) {
+    if (sp.precision <= 0.0 || sp.precision > 1.0) {
+      return Status::InvalidArgument("precision must be in (0, 1]");
+    }
+    if (sp.recall < 0.0 || sp.recall > 1.0) {
+      return Status::InvalidArgument("recall must be in [0, 1]");
+    }
+    if (sp.gold_activity < 0.0 || sp.gold_activity > 1.0) {
+      return Status::InvalidArgument("gold_activity must be in [0, 1]");
+    }
+  }
+  FUSER_RETURN_IF_ERROR(ValidateGroups(config.groups_true, n));
+  FUSER_RETURN_IF_ERROR(ValidateGroups(config.groups_false, n));
+
+  // Per-source marginal rates. True side: recall scaled up inside a
+  // partition so overall recall stays near target. False side: the rate
+  // that yields the target precision given the expected number of provided
+  // true triples: #false = #true_provided * (1-p)/p.
+  ClassPlan true_plan;
+  true_plan.universe = config.num_true;
+  true_plan.labeled = std::min(config.labeled_true, config.num_true);
+  true_plan.fractions = config.true_partition_fractions;
+  true_plan.groups = &config.groups_true;
+  ClassPlan false_plan;
+  false_plan.universe = config.num_false;
+  false_plan.labeled = std::min(config.labeled_false, config.num_false);
+  false_plan.fractions = config.false_partition_fractions;
+  false_plan.groups = &config.groups_false;
+
+  for (size_t s = 0; s < n; ++s) {
+    const SourceProfile& sp = config.sources[s];
+    double true_fraction = 1.0;
+    if (sp.true_partition >= 0) {
+      if (static_cast<size_t>(sp.true_partition) >=
+          std::max<size_t>(1, config.true_partition_fractions.size())) {
+        return Status::InvalidArgument("true_partition out of range");
+      }
+      true_fraction =
+          config.true_partition_fractions[static_cast<size_t>(
+              sp.true_partition)];
+    }
+    double false_fraction = 1.0;
+    if (sp.false_partition >= 0) {
+      if (static_cast<size_t>(sp.false_partition) >=
+          std::max<size_t>(1, config.false_partition_fractions.size())) {
+        return Status::InvalidArgument("false_partition out of range");
+      }
+      false_fraction =
+          config.false_partition_fractions[static_cast<size_t>(
+              sp.false_partition)];
+    }
+    double true_rate = std::min(1.0, sp.recall / std::max(true_fraction,
+                                                          1e-9));
+    double expected_true = sp.recall * static_cast<double>(config.num_true);
+    double expected_false =
+        expected_true * (1.0 - sp.precision) / sp.precision;
+    double false_rate = std::min(
+        1.0, expected_false / std::max(false_fraction *
+                                           static_cast<double>(
+                                               config.num_false),
+                                       1e-9));
+    true_plan.rate.push_back(true_rate);
+    false_plan.rate.push_back(false_rate);
+    true_plan.partition.push_back(sp.true_partition);
+    false_plan.partition.push_back(sp.false_partition);
+  }
+
+  Dataset dataset;
+  for (size_t s = 0; s < n; ++s) {
+    dataset.AddSource(config.sources[s].name.empty()
+                          ? StrFormat("source-%zu", s)
+                          : config.sources[s].name);
+  }
+
+  Rng rng(config.seed);
+  // Observation matrix accumulated sparsely: provided[s] lists TripleIds.
+  std::vector<std::vector<TripleId>> provided(n);
+
+  auto generate_class = [&](const ClassPlan& plan, bool is_true) {
+    // Group latent parameters per member: lambda (group coin rate) and the
+    // conditional rates (a, b) preserving the member's marginal.
+    struct MemberLatent {
+      double a = 0.0;
+      double b = 0.0;
+    };
+    std::vector<double> group_lambda(plan.groups->size(), 0.0);
+    std::vector<std::vector<MemberLatent>> latents(plan.groups->size());
+    std::vector<int> group_of(n, -1);
+    std::vector<size_t> index_in_group(n, 0);
+    for (size_t g = 0; g < plan.groups->size(); ++g) {
+      const GroupSpec& spec = (*plan.groups)[g];
+      double mean_rate = 0.0;
+      for (size_t m : spec.members) mean_rate += plan.rate[m];
+      mean_rate /= static_cast<double>(spec.members.size());
+      double lambda = std::clamp(mean_rate, 1e-6, 1.0 - 1e-6);
+      group_lambda[g] = lambda;
+      latents[g].resize(spec.members.size());
+      for (size_t j = 0; j < spec.members.size(); ++j) {
+        size_t m = spec.members[j];
+        group_of[m] = static_cast<int>(g);
+        index_in_group[m] = j;
+        double pi = plan.rate[m];
+        // a = rate when the group coin fires; marginal lambda*a+(1-lambda)*b
+        // = pi requires a <= pi/lambda.
+        double a = std::min(pi / lambda, pi + spec.rho * (1.0 - pi));
+        double b = (pi - lambda * a) / (1.0 - lambda);
+        latents[g][j] = {a, std::max(b, 0.0)};
+      }
+    }
+
+    for (size_t i = 0; i < plan.universe; ++i) {
+      const int triple_partition =
+          PartitionOfIndex(i, plan.universe, plan.fractions);
+      const bool labeled = i < plan.labeled;
+      // Group coins for this triple.
+      std::vector<bool> coin(plan.groups->size());
+      for (size_t g = 0; g < plan.groups->size(); ++g) {
+        coin[g] = rng.NextBernoulli(group_lambda[g]);
+      }
+      std::vector<size_t> provider_list;
+      for (size_t s = 0; s < n; ++s) {
+        int sp_partition = plan.partition[s];
+        if (sp_partition >= 0 && sp_partition != triple_partition) {
+          continue;  // outside this source's slice of the universe
+        }
+        double rate;
+        if (group_of[s] >= 0) {
+          const MemberLatent& lat =
+              latents[static_cast<size_t>(group_of[s])][index_in_group[s]];
+          rate = coin[static_cast<size_t>(group_of[s])] ? lat.a : lat.b;
+        } else {
+          rate = plan.rate[s];
+        }
+        if (labeled) {
+          rate *= config.sources[s].gold_activity;
+        }
+        if (rng.NextBernoulli(rate)) {
+          provider_list.push_back(s);
+        }
+      }
+      if (provider_list.empty()) {
+        continue;  // unobserved triples do not exist in the dataset
+      }
+      std::string subject = StrFormat("e%s%zu", is_true ? "t" : "f", i);
+      std::string domain;
+      if (config.assign_domains_by_partition) {
+        domain = StrFormat("part%d", triple_partition);
+      } else if (config.num_domains > 0) {
+        domain = StrFormat("dom%zu", i % config.num_domains);
+      }
+      TripleId t = dataset.AddTriple(
+          {subject, "attr", StrFormat("v%zu", i)}, domain);
+      if (labeled) {
+        dataset.SetLabel(t, is_true);
+      }
+      for (size_t s : provider_list) {
+        provided[s].push_back(t);
+      }
+    }
+  };
+
+  generate_class(true_plan, /*is_true=*/true);
+  generate_class(false_plan, /*is_true=*/false);
+
+  for (size_t s = 0; s < n; ++s) {
+    for (TripleId t : provided[s]) {
+      dataset.Provide(static_cast<SourceId>(s), t);
+    }
+  }
+  FUSER_RETURN_IF_ERROR(dataset.Finalize());
+  return dataset;
+}
+
+}  // namespace fuser

@@ -1,0 +1,110 @@
+#include "synth/motivating_example.h"
+
+#include "common/logging.h"
+
+namespace fuser {
+
+namespace {
+
+struct ExampleTriple {
+  const char* subject;
+  const char* predicate;
+  const char* object;
+  bool is_true;
+  // Providers as a 5-bit mask, bit i = S(i+1).
+  unsigned providers;
+};
+
+// The reconstructed Figure 1a grid (see header comment).
+constexpr ExampleTriple kTriples[] = {
+    {"Obama", "profession", "president", true, 0b11011},        // t1
+    {"Obama", "died", "1982", false, 0b00011},                  // t2
+    {"Obama", "profession", "lawyer", true, 0b00100},           // t3
+    {"Obama", "religion", "Christian", true, 0b11110},          // t4
+    {"Obama", "age", "50", false, 0b00110},                     // t5
+    {"Obama", "support", "White Sox", true, 0b11001},           // t6
+    {"Obama", "spouse", "Michelle", true, 0b00111},             // t7
+    {"Obama", "administered by", "John G. Roberts", false, 0b11011},  // t8
+    {"Obama", "surgical operation", "05/01/2011", false, 0b11011},    // t9
+    {"Obama", "profession", "community organizer", true, 0b11101},    // t10
+};
+
+}  // namespace
+
+Dataset MakeMotivatingExample() {
+  Dataset dataset;
+  for (int s = 1; s <= 5; ++s) {
+    dataset.AddSource("S" + std::to_string(s));
+  }
+  for (const ExampleTriple& et : kTriples) {
+    TripleId t = dataset.AddTriple({et.subject, et.predicate, et.object},
+                                   "wiki/Barack_Obama");
+    dataset.SetLabel(t, et.is_true);
+    for (int s = 0; s < 5; ++s) {
+      if ((et.providers >> s) & 1) {
+        dataset.Provide(static_cast<SourceId>(s), t);
+      }
+    }
+  }
+  Status status = dataset.Finalize();
+  FUSER_CHECK(status.ok()) << status;
+  return dataset;
+}
+
+std::vector<SourceQuality> MakeExampleSourceQuality() {
+  // Figure 1b precision/recall; q derived via Theorem 3.5 at alpha = 0.5
+  // (worked out after Example 3.4 and used in Example 3.3).
+  std::vector<SourceQuality> quality(5);
+  const double p[5] = {4.0 / 7, 3.0 / 7, 4.0 / 5, 4.0 / 6, 4.0 / 6};
+  const double r[5] = {4.0 / 6, 3.0 / 6, 4.0 / 6, 4.0 / 6, 4.0 / 6};
+  const double q[5] = {1.0 / 2, 2.0 / 3, 1.0 / 6, 1.0 / 3, 1.0 / 3};
+  for (int i = 0; i < 5; ++i) {
+    quality[i].precision = p[i];
+    quality[i].recall = r[i];
+    quality[i].fpr = q[i];
+  }
+  return quality;
+}
+
+std::unique_ptr<ExplicitJointStats> MakeExampleJointStats() {
+  const double kAlpha = 0.5;
+  std::vector<SourceQuality> single = MakeExampleSourceQuality();
+  std::vector<JointQuality> singles(5);
+  for (int i = 0; i < 5; ++i) {
+    singles[i] = {single[i].precision, single[i].recall, single[i].fpr};
+  }
+  auto stats = std::make_unique<ExplicitJointStats>(singles, kAlpha);
+
+  auto joint = [](double r, double q) {
+    JointQuality jq;
+    jq.recall = r;
+    jq.fpr = q;
+    double den = 0.5 * r + 0.5 * q;
+    jq.precision = den > 0.0 ? 0.5 * r / den : 0.5;
+    return jq;
+  };
+  // Example 4.4 "given" parameters: the full set and all leave-one-out
+  // subsets (bit i = S(i+1)). The values below reproduce Figure 3's
+  // correlation factors and the worked probabilities of Section 4.
+  stats->SetJoint(0b11111, joint(0.11, 0.037));   // S1..S5
+  stats->SetJoint(0b11110, joint(0.167, 0.037));  // S2,S3,S4,S5
+  stats->SetJoint(0b11101, joint(0.22, 0.0552));  // S1,S3,S4,S5
+  stats->SetJoint(0b11011, joint(0.22, 0.2216));  // S1,S2,S4,S5
+  stats->SetJoint(0b10111, joint(0.109, 0.037));  // S1,S2,S3,S5
+  stats->SetJoint(0b01111, joint(0.109, 0.037));  // S1,S2,S3,S4
+  return stats;
+}
+
+CorrelationModel MakeExampleModel() {
+  CorrelationModel model;
+  model.alpha = 0.5;
+  model.use_scopes = false;
+  model.source_quality = MakeExampleSourceQuality();
+  model.clustering.clusters = {{0, 1, 2, 3, 4}};
+  model.clustering.cluster_of = {0, 0, 0, 0, 0};
+  model.clustering.index_in_cluster = {0, 1, 2, 3, 4};
+  model.cluster_stats.push_back(MakeExampleJointStats());
+  return model;
+}
+
+}  // namespace fuser

@@ -1,0 +1,54 @@
+// The paper's motivating example (Figure 1): ten knowledge triples about
+// Barack Obama extracted by five extraction systems.
+//
+// The provider grid is reconstructed exactly from the constraints published
+// in the paper (per-source outputs O1, per-source precision/recall of
+// Figure 1b, the joint statistics of Example 2.3, and the per-triple
+// provider counts of Figure 1a):
+//
+//   triple  label  S1 S2 S3 S4 S5
+//   t1      true    x  x     x  x     {Obama, profession, president}
+//   t2      false   x  x              {Obama, died, 1982}
+//   t3      true          x           {Obama, profession, lawyer}
+//   t4      true       x  x  x  x     {Obama, religion, Christian}
+//   t5      false      x  x           {Obama, age, 50}
+//   t6      true    x        x  x     {Obama, support, White Sox}
+//   t7      true    x  x  x           {Obama, spouse, Michelle}
+//   t8      false   x  x     x  x     {Obama, administered by, John G. Roberts}
+//   t9      false   x  x     x  x     {Obama, surgical operation, 05/01/2011}
+//   t10     true    x     x  x  x     {Obama, profession, community organizer}
+//
+// Also provides the exogenous joint parameters of Examples 4.4/4.7/4.10
+// (r_12345 = 0.11, q_12345 = 0.037, ...), which the paper assumes "given",
+// assembled into an ExplicitJointStats / CorrelationModel for reproducing
+// Figure 3 and the worked probabilities.
+#ifndef FUSER_SYNTH_MOTIVATING_EXAMPLE_H_
+#define FUSER_SYNTH_MOTIVATING_EXAMPLE_H_
+
+#include <memory>
+
+#include "core/correlation_model.h"
+#include "core/joint_stats.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+/// Builds the finalized Figure 1 dataset (sources S1..S5, triples t1..t10).
+Dataset MakeMotivatingExample();
+
+/// Per-source quality of Figure 1b with the false positive rates derived in
+/// Section 3.2 (q = {1/2, 2/3, 1/6, 1/3, 1/3} at alpha = 0.5).
+std::vector<SourceQuality> MakeExampleSourceQuality();
+
+/// The joint parameters assumed in Example 4.4 (full set and every
+/// leave-one-out subset; other subsets fall back to independence).
+/// Cluster-local bit i corresponds to source S(i+1).
+std::unique_ptr<ExplicitJointStats> MakeExampleJointStats();
+
+/// A single-cluster correlation model over the example's five sources with
+/// the explicit joint statistics above.
+CorrelationModel MakeExampleModel();
+
+}  // namespace fuser
+
+#endif  // FUSER_SYNTH_MOTIVATING_EXAMPLE_H_

@@ -1,0 +1,256 @@
+#include "synth/paper_datasets.h"
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace fuser {
+
+SyntheticConfig ReverbConfig(uint64_t seed) {
+  SyntheticConfig config;
+  config.num_true = 616;
+  config.num_false = 1791;
+  config.seed = seed;
+  // Six extractors with fairly low precision and recall (Figure 4a
+  // regime). Precisions straddle alpha = 0.5: with p < alpha for *every*
+  // source, Theorem 3.5 makes every source "bad" (q > r) and
+  // independence-based fusion inverts, which contradicts the PrecRec
+  // quality the paper reports on this dataset.
+  const char* names[6] = {"reverb-a", "reverb-b", "reverb-c",
+                          "reverb-d", "reverb-e", "reverb-f"};
+  const double precision[6] = {0.50, 0.44, 0.60, 0.42, 0.52, 0.56};
+  const double recall[6] = {0.45, 0.30, 0.50, 0.25, 0.40, 0.35};
+  config.sources.resize(6);
+  for (int s = 0; s < 6; ++s) {
+    config.sources[s].name = names[s];
+    config.sources[s].precision = precision[s];
+    config.sources[s].recall = recall[s];
+  }
+  // True triples: a correlated pair and a correlated 3-group (shared
+  // extraction patterns).
+  config.groups_true = {{{0, 1}, 0.75}, {{2, 3, 4}, 0.65}};
+  // False triples: two correlated pairs (common extraction mistakes).
+  config.groups_false = {{{0, 2}, 0.7}, {{1, 3}, 0.7}};
+  // Source f makes its own kind of mistakes: an exclusive 20% slice of the
+  // false universe, making it anti-correlated with every other source on
+  // false triples.
+  config.false_partition_fractions = {0.8, 0.2};
+  for (int s = 0; s < 5; ++s) config.sources[s].false_partition = 0;
+  config.sources[5].false_partition = 1;
+  return config;
+}
+
+SyntheticConfig RestaurantConfig(uint64_t seed) {
+  SyntheticConfig config;
+  config.num_true = 68;
+  config.num_false = 25;
+  config.seed = seed;
+  const char* names[7] = {"yelp",        "foursquare", "opentable",
+                          "mturk",       "yellowpages", "citysearch",
+                          "menupages"};
+  const double precision[7] = {0.95, 0.92, 0.90, 0.88, 0.93, 0.90, 0.94};
+  const double recall[7] = {0.85, 0.80, 0.75, 0.70, 0.45, 0.45, 0.60};
+  config.sources.resize(7);
+  for (int s = 0; s < 7; ++s) {
+    config.sources[s].name = names[s];
+    config.sources[s].precision = precision[s];
+    config.sources[s].recall = recall[s];
+  }
+  // A 4-group strongly correlated on true triples (aggregators sharing
+  // upstream feeds).
+  config.groups_true = {{{0, 1, 2, 3}, 0.7}};
+  // An anti-correlated pair on true triples: yellowpages and citysearch
+  // cover complementary halves of the restaurants.
+  config.true_partition_fractions = {0.5, 0.5};
+  config.sources[4].true_partition = 0;
+  config.sources[5].true_partition = 1;
+  // A 6-group correlated on false triples (shared stale listings).
+  config.groups_false = {{{0, 1, 2, 4, 5, 6}, 0.75}};
+  return config;
+}
+
+BookSimConfig BookConfig(uint64_t seed) {
+  BookSimConfig config;
+  config.seed = seed;
+  // Cluster structure reported in Section 5.1: one large copying cartel
+  // (~22 sellers) plus several small ones.
+  BookSimConfig::CopyGroup big;
+  for (size_t s = 0; s < 22; ++s) big.members.push_back(s);
+  big.rho = 0.85;
+  config.groups = {big,
+                   {{30, 31, 32}, 0.85},
+                   {{40, 41}, 0.9},
+                   {{50, 51}, 0.9},
+                   {{60, 61, 62}, 0.85}};
+  return config;
+}
+
+StatusOr<Dataset> MakeReverbDataset(uint64_t seed) {
+  return GenerateSynthetic(ReverbConfig(seed));
+}
+
+StatusOr<Dataset> MakeRestaurantDataset(uint64_t seed) {
+  return GenerateSynthetic(RestaurantConfig(seed));
+}
+
+StatusOr<Dataset> MakeBookDatasetFromConfig(const BookSimConfig& config) {
+  if (config.num_sellers == 0 || config.num_books == 0) {
+    return Status::InvalidArgument("need sellers and books");
+  }
+  if (config.num_gold_books > config.num_books ||
+      config.num_gold_sellers > config.num_sellers) {
+    return Status::InvalidArgument("gold subset larger than universe");
+  }
+  Rng rng(config.seed ^ 0xB00C5EEDULL);
+
+  // Books: 1-3 true authors (mean ~2.1) and 3-6 false variants (mean
+  // ~4.2), giving ~6.3 labeled triples per gold book as in the real
+  // dataset (1417 triples over 225 books).
+  struct Book {
+    std::vector<TripleId> true_authors;
+    std::vector<TripleId> false_variants;
+  };
+  Dataset dataset;
+  std::vector<std::string> seller_names(config.num_sellers);
+  for (size_t s = 0; s < config.num_sellers; ++s) {
+    dataset.AddSource(StrFormat("seller-%03zu", s));
+  }
+  std::vector<Book> books(config.num_books);
+  for (size_t b = 0; b < config.num_books; ++b) {
+    const bool gold = b < config.num_gold_books;
+    const std::string domain = StrFormat("book%zu", b);
+    size_t n_true = 1 + rng.NextBounded(3);   // 1..3
+    size_t n_false = 3 + rng.NextBounded(4);  // 3..6
+    for (size_t k = 0; k < n_true; ++k) {
+      TripleId t = dataset.AddTriple(
+          {StrFormat("book%zu", b), "author", StrFormat("author-%zu", k)},
+          domain);
+      if (gold) dataset.SetLabel(t, true);
+      books[b].true_authors.push_back(t);
+    }
+    for (size_t k = 0; k < n_false; ++k) {
+      TripleId t = dataset.AddTriple({StrFormat("book%zu", b), "author",
+                                      StrFormat("wrong-author-%zu", k)},
+                                     domain);
+      if (gold) dataset.SetLabel(t, false);
+      books[b].false_variants.push_back(t);
+    }
+  }
+
+  // Seller profiles: listing volume and accuracy (precision), widely
+  // varying, skewed high.
+  std::vector<double> accuracy(config.num_sellers);
+  std::vector<size_t> volume(config.num_sellers);
+  for (size_t s = 0; s < config.num_sellers; ++s) {
+    double u = rng.NextDouble();
+    if (u < 0.4) {
+      accuracy[s] = 0.7 + 0.25 * rng.NextDouble();
+    } else if (u < 0.75) {
+      accuracy[s] = 0.45 + 0.25 * rng.NextDouble();
+    } else {
+      accuracy[s] = 0.15 + 0.3 * rng.NextDouble();
+    }
+    volume[s] = config.min_listings +
+                rng.NextBounded(config.max_listings - config.min_listings +
+                                1);
+  }
+
+  // Copying groups: a leader's listings and claims are replicated by the
+  // members with probability rho per book.
+  std::vector<int> group_of(config.num_sellers, -1);
+  for (size_t g = 0; g < config.groups.size(); ++g) {
+    for (size_t m : config.groups[g].members) {
+      if (m >= config.num_sellers) {
+        return Status::InvalidArgument("group member out of range");
+      }
+      if (group_of[m] >= 0) {
+        return Status::InvalidArgument("seller in two copy groups");
+      }
+      group_of[m] = static_cast<int>(g);
+    }
+  }
+
+  // Claims of a seller for a book it lists: the set of provided triples.
+  auto draw_claims = [&](size_t seller, size_t b, Rng* r) {
+    std::vector<TripleId> claims;
+    const Book& book = books[b];
+    bool any_correct = false;
+    for (TripleId t : book.true_authors) {
+      if (r->NextBernoulli(accuracy[seller])) {
+        claims.push_back(t);
+        any_correct = true;
+      }
+    }
+    // A seller that misses the true authors asserts a wrong variant; even
+    // correct sellers occasionally add one.
+    bool add_wrong = !any_correct || r->NextBernoulli(0.25);
+    if (add_wrong && !book.false_variants.empty()) {
+      claims.push_back(book.false_variants[r->NextBounded(
+          book.false_variants.size())]);
+    }
+    return claims;
+  };
+
+  // Leaders' listings/claims drawn first so members can copy them.
+  std::vector<std::vector<size_t>> leader_books(config.groups.size());
+  std::vector<std::unordered_map<size_t, std::vector<TripleId>>>
+      leader_claims(config.groups.size());
+  for (size_t g = 0; g < config.groups.size(); ++g) {
+    size_t leader = config.groups[g].members.front();
+    const bool gold_seller = leader < config.num_gold_sellers;
+    size_t lo = gold_seller ? 0 : config.num_gold_books;
+    size_t span = config.num_books - lo;
+    auto picks = rng.SampleWithoutReplacement(
+        span, std::min(volume[leader], span));
+    for (size_t p : picks) {
+      size_t b = lo + p;
+      leader_books[g].push_back(b);
+      leader_claims[g][b] = draw_claims(leader, b, &rng);
+    }
+  }
+
+  for (size_t s = 0; s < config.num_sellers; ++s) {
+    const bool gold_seller = s < config.num_gold_sellers;
+    // Non-gold sellers list only non-gold books, so exactly the first
+    // num_gold_sellers sellers can appear in the gold standard.
+    size_t lo = gold_seller ? 0 : config.num_gold_books;
+    size_t span = config.num_books - lo;
+    int g = group_of[s];
+    if (g >= 0) {
+      double rho = config.groups[static_cast<size_t>(g)].rho;
+      // Copy the leader's catalog and claims.
+      for (size_t b : leader_books[static_cast<size_t>(g)]) {
+        if (!rng.NextBernoulli(rho)) continue;
+        if (!gold_seller && b < config.num_gold_books) continue;
+        for (TripleId t : leader_claims[static_cast<size_t>(g)][b]) {
+          dataset.Provide(static_cast<SourceId>(s), t);
+        }
+      }
+      // Plus a smaller independent tail.
+      auto picks = rng.SampleWithoutReplacement(
+          span, std::min(volume[s] / 4, span));
+      for (size_t p : picks) {
+        size_t b = lo + p;
+        for (TripleId t : draw_claims(s, b, &rng)) {
+          dataset.Provide(static_cast<SourceId>(s), t);
+        }
+      }
+    } else {
+      auto picks =
+          rng.SampleWithoutReplacement(span, std::min(volume[s], span));
+      for (size_t p : picks) {
+        size_t b = lo + p;
+        for (TripleId t : draw_claims(s, b, &rng)) {
+          dataset.Provide(static_cast<SourceId>(s), t);
+        }
+      }
+    }
+  }
+  FUSER_RETURN_IF_ERROR(dataset.Finalize());
+  return dataset;
+}
+
+StatusOr<Dataset> MakeBookDataset(uint64_t seed) {
+  return MakeBookDatasetFromConfig(BookConfig(seed));
+}
+
+}  // namespace fuser

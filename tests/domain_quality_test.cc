@@ -1,0 +1,176 @@
+// Tests for the per-domain quality extension (paper Section 7 future
+// work): estimation, shrinkage behavior, and the domain-aware scorer.
+#include "core/domain_quality.h"
+
+#include "core/precrec.h"
+#include "gtest/gtest.h"
+#include "stats/metrics.h"
+#include "synth/generator.h"
+
+namespace fuser {
+namespace {
+
+/// A source that is accurate in domain "good" and terrible in domain
+/// "bad", plus a uniform reference source.
+Dataset MakeTwoDomainDataset() {
+  Dataset d;
+  SourceId mixed = d.AddSource("mixed");
+  SourceId uniform = d.AddSource("uniform");
+  // Domain "good": mixed provides 4 true; uniform provides 2 true, 2 false.
+  for (int i = 0; i < 4; ++i) {
+    TripleId t = d.AddTriple({"g" + std::to_string(i), "a", "v"}, "good");
+    d.SetLabel(t, true);
+    d.Provide(mixed, t);
+    if (i < 2) d.Provide(uniform, t);
+  }
+  for (int i = 0; i < 2; ++i) {
+    TripleId t = d.AddTriple({"gf" + std::to_string(i), "a", "v"}, "good");
+    d.SetLabel(t, false);
+    d.Provide(uniform, t);
+  }
+  // Domain "bad": mixed provides 4 false; uniform provides 2 true.
+  for (int i = 0; i < 4; ++i) {
+    TripleId t = d.AddTriple({"b" + std::to_string(i), "a", "v"}, "bad");
+    d.SetLabel(t, false);
+    d.Provide(mixed, t);
+  }
+  for (int i = 0; i < 2; ++i) {
+    TripleId t = d.AddTriple({"bt" + std::to_string(i), "a", "v"}, "bad");
+    d.SetLabel(t, true);
+    d.Provide(uniform, t);
+    d.Provide(mixed, t);
+  }
+  EXPECT_TRUE(d.Finalize().ok());
+  return d;
+}
+
+TEST(DomainQualityTest, SeparatesPerDomainPrecision) {
+  Dataset d = MakeTwoDomainDataset();
+  DomainQualityOptions options;
+  options.shrinkage = 0.0;  // raw per-domain estimates
+  auto model = EstimateDomainQuality(d, d.labeled_mask(), options);
+  ASSERT_TRUE(model.ok());
+  auto good = d.FindSource("mixed");
+  DomainId good_dom = d.domain(d.FindTriple({"g0", "a", "v"}));
+  DomainId bad_dom = d.domain(d.FindTriple({"b0", "a", "v"}));
+  // mixed: perfect in "good" (4/4), poor in "bad" (2 true of 6 provided).
+  EXPECT_NEAR(model->Get(*good, good_dom).precision, 1.0, 1e-9);
+  EXPECT_NEAR(model->Get(*good, bad_dom).precision, 2.0 / 6.0, 1e-9);
+  // Global precision sits in between.
+  EXPECT_GT(model->global[*good].precision, 2.0 / 6.0);
+  EXPECT_LT(model->global[*good].precision, 1.0);
+}
+
+TEST(DomainQualityTest, ShrinkagePullsTowardGlobal) {
+  Dataset d = MakeTwoDomainDataset();
+  DomainQualityOptions raw;
+  raw.shrinkage = 0.0;
+  DomainQualityOptions shrunk;
+  shrunk.shrinkage = 10.0;
+  auto raw_model = EstimateDomainQuality(d, d.labeled_mask(), raw);
+  auto shrunk_model = EstimateDomainQuality(d, d.labeled_mask(), shrunk);
+  ASSERT_TRUE(raw_model.ok());
+  ASSERT_TRUE(shrunk_model.ok());
+  auto mixed = d.FindSource("mixed");
+  DomainId good_dom = d.domain(d.FindTriple({"g0", "a", "v"}));
+  double global = raw_model->global[*mixed].precision;
+  double raw_p = raw_model->Get(*mixed, good_dom).precision;
+  double shrunk_p = shrunk_model->Get(*mixed, good_dom).precision;
+  // Shrinkage moves the per-domain estimate toward the global one.
+  EXPECT_GT(raw_p, shrunk_p);
+  EXPECT_GT(shrunk_p, global);
+}
+
+TEST(DomainQualityTest, UnseenDomainFallsBackToGlobal) {
+  Dataset d = MakeTwoDomainDataset();
+  // Train only on the "good" domain triples.
+  DynamicBitset train(d.num_triples());
+  d.labeled_mask().ForEach([&](size_t t) {
+    if (d.domain(static_cast<TripleId>(t)) ==
+        d.domain(d.FindTriple({"g0", "a", "v"}))) {
+      train.Set(t);
+    }
+  });
+  DomainQualityOptions options;
+  options.shrinkage = 0.0;
+  auto model = EstimateDomainQuality(d, train, options);
+  ASSERT_TRUE(model.ok());
+  auto mixed = d.FindSource("mixed");
+  DomainId bad_dom = d.domain(d.FindTriple({"b0", "a", "v"}));
+  EXPECT_NEAR(model->Get(*mixed, bad_dom).precision,
+              model->global[*mixed].precision, 1e-9);
+}
+
+TEST(DomainQualityTest, DomainAwareScoringBeatsGlobalOnMixedSources) {
+  // Two "specialist" sources, each accurate in its own half of the
+  // domains and noisy in the other; global quality washes this out.
+  SyntheticConfig config =
+      MakeIndependentConfig(4, 3000, 0.4, 0.7, 0.4, /*seed=*/77);
+  config.assign_domains_by_partition = true;
+  config.true_partition_fractions = {0.5, 0.5};
+  config.false_partition_fractions = {0.5, 0.5};
+  // Sources 0/1 only cover partition 0/1 respectively with high quality;
+  // sources 2/3 cover everything with mediocre quality.
+  config.sources[0].true_partition = 0;
+  config.sources[0].false_partition = 0;
+  config.sources[0].precision = 0.9;
+  config.sources[1].true_partition = 1;
+  config.sources[1].false_partition = 1;
+  config.sources[1].precision = 0.35;
+  config.sources[2].precision = 0.6;
+  config.sources[3].precision = 0.6;
+  auto d = GenerateSynthetic(config);
+  ASSERT_TRUE(d.ok());
+
+  DomainQualityOptions options;
+  options.base.use_scopes = true;
+  auto model = EstimateDomainQuality(*d, d->labeled_mask(), options);
+  ASSERT_TRUE(model.ok());
+  auto domain_scores = DomainAwarePrecRecScores(*d, *model, 0.5);
+  ASSERT_TRUE(domain_scores.ok());
+  for (double s : *domain_scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  ConfusionCounts counts =
+      EvaluateDecisions(*d, *domain_scores, d->labeled_mask(), 0.5);
+  EXPECT_GT(counts.F1(), 0.5);
+}
+
+TEST(DomainQualityTest, RejectsBadArguments) {
+  Dataset d = MakeTwoDomainDataset();
+  DomainQualityOptions bad;
+  bad.shrinkage = -1.0;
+  EXPECT_FALSE(EstimateDomainQuality(d, d.labeled_mask(), bad).ok());
+
+  DomainQualityOptions ok_options;
+  auto model = EstimateDomainQuality(d, d.labeled_mask(), ok_options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(DomainAwarePrecRecScores(d, *model, 0.0).ok());
+  EXPECT_FALSE(DomainAwarePrecRecScores(d, *model, 1.0).ok());
+}
+
+TEST(DomainQualityTest, SingleDomainMatchesGlobalPrecRec) {
+  // With one global domain and no shrinkage effect (domain == global
+  // counts), domain-aware scoring must equal plain PrecRec.
+  SyntheticConfig config =
+      MakeIndependentConfig(5, 800, 0.4, 0.7, 0.4, /*seed=*/78);
+  auto d = GenerateSynthetic(config);
+  ASSERT_TRUE(d.ok());
+  DomainQualityOptions options;
+  options.shrinkage = 0.0;
+  auto model = EstimateDomainQuality(*d, d->labeled_mask(), options);
+  ASSERT_TRUE(model.ok());
+  auto domain_scores = DomainAwarePrecRecScores(*d, *model, 0.5);
+  ASSERT_TRUE(domain_scores.ok());
+  auto quality = EstimateSourceQuality(*d, d->labeled_mask(), {});
+  ASSERT_TRUE(quality.ok());
+  auto plain = PrecRecScores(*d, *quality, {});
+  ASSERT_TRUE(plain.ok());
+  for (TripleId t = 0; t < d->num_triples(); ++t) {
+    EXPECT_NEAR((*domain_scores)[t], (*plain)[t], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fuser

@@ -1,0 +1,209 @@
+// Unit tests for joint statistics: empirical counting (with and without
+// sum-over-supersets tables), scope handling, smoothing, the exact pattern
+// likelihood, and the explicit provider.
+#include "core/joint_stats.h"
+
+#include "gtest/gtest.h"
+#include "synth/generator.h"
+#include "synth/motivating_example.h"
+
+namespace fuser {
+namespace {
+
+std::vector<SourceId> AllSources(const Dataset& d) {
+  std::vector<SourceId> all(d.num_sources());
+  for (SourceId s = 0; s < d.num_sources(); ++s) all[s] = s;
+  return all;
+}
+
+TEST(EmpiricalJointStatsTest, SingletonMatchesSourceQuality) {
+  Dataset d = MakeMotivatingExample();
+  auto stats =
+      EmpiricalJointStats::Create(d, d.labeled_mask(), AllSources(d), {});
+  ASSERT_TRUE(stats.ok());
+  auto quality = EstimateSourceQuality(d, d.labeled_mask(), {});
+  ASSERT_TRUE(quality.ok());
+  for (int i = 0; i < 5; ++i) {
+    JointQuality joint = (*stats)->Get(Mask{1} << i);
+    EXPECT_NEAR(joint.precision, (*quality)[i].precision, 1e-12);
+    EXPECT_NEAR(joint.recall, (*quality)[i].recall, 1e-12);
+    EXPECT_NEAR(joint.fpr, (*quality)[i].fpr, 1e-12);
+  }
+}
+
+TEST(EmpiricalJointStatsTest, EmptySubsetConvention) {
+  Dataset d = MakeMotivatingExample();
+  auto stats =
+      EmpiricalJointStats::Create(d, d.labeled_mask(), AllSources(d), {});
+  ASSERT_TRUE(stats.ok());
+  JointQuality empty = (*stats)->Get(0);
+  EXPECT_DOUBLE_EQ(empty.recall, 1.0);
+  EXPECT_DOUBLE_EQ(empty.fpr, 1.0);
+}
+
+TEST(EmpiricalJointStatsTest, SupersetCountsAreMonotone) {
+  Dataset d = MakeMotivatingExample();
+  auto stats =
+      EmpiricalJointStats::Create(d, d.labeled_mask(), AllSources(d), {});
+  ASSERT_TRUE(stats.ok());
+  for (Mask m = 1; m < 32; ++m) {
+    for (int b = 0; b < 5; ++b) {
+      if (HasBit(m, b)) continue;
+      Mask bigger = WithBit(m, b);
+      EXPECT_LE((*stats)->CountTrueSuperset(bigger),
+                (*stats)->CountTrueSuperset(m));
+      EXPECT_LE((*stats)->CountFalseSuperset(bigger),
+                (*stats)->CountFalseSuperset(m));
+    }
+  }
+  EXPECT_EQ((*stats)->CountTrueSuperset(0), (*stats)->total_true());
+  EXPECT_EQ((*stats)->CountFalseSuperset(0), (*stats)->total_false());
+}
+
+TEST(EmpiricalJointStatsTest, TablesAgreeWithPatternScan) {
+  // Same dataset queried with and without the SOS table; every subset must
+  // produce identical statistics.
+  SyntheticConfig config =
+      MakeIndependentConfig(8, 400, 0.4, 0.7, 0.4, /*seed=*/11);
+  auto d = GenerateSynthetic(config);
+  ASSERT_TRUE(d.ok());
+  JointStatsOptions with_tables;
+  with_tables.sos_table_max_bits = 20;
+  JointStatsOptions no_tables;
+  no_tables.sos_table_max_bits = 0;
+  auto a =
+      EmpiricalJointStats::Create(*d, d->labeled_mask(), AllSources(*d),
+                                  with_tables);
+  auto b = EmpiricalJointStats::Create(*d, d->labeled_mask(), AllSources(*d),
+                                       no_tables);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (Mask m = 0; m < 256; ++m) {
+    JointQuality qa = (*a)->Get(m);
+    JointQuality qb = (*b)->Get(m);
+    EXPECT_NEAR(qa.recall, qb.recall, 1e-12) << "mask " << m;
+    EXPECT_NEAR(qa.precision, qb.precision, 1e-12) << "mask " << m;
+    EXPECT_NEAR(qa.fpr, qb.fpr, 1e-12) << "mask " << m;
+  }
+}
+
+TEST(EmpiricalJointStatsTest, ExactLikelihoodMatchesManualCount) {
+  Dataset d = MakeMotivatingExample();
+  auto stats =
+      EmpiricalJointStats::Create(d, d.labeled_mask(), AllSources(d), {});
+  ASSERT_TRUE(stats.ok());
+  // Pattern {S3 only}: exactly t3 among true triples, nothing among false.
+  double pt = 0.0;
+  double pf = 0.0;
+  ASSERT_TRUE(
+      (*stats)->ExactPatternLikelihood(0b00100, 0b11011, &pt, &pf).ok());
+  EXPECT_NEAR(pt, 1.0 / 6, 1e-12);
+  EXPECT_NEAR(pf, 0.0, 1e-12);
+  // Pattern {S1,S2,S4,S5}: t1 among true; t8, t9 among false.
+  ASSERT_TRUE(
+      (*stats)->ExactPatternLikelihood(0b11011, 0b00100, &pt, &pf).ok());
+  EXPECT_NEAR(pt, 1.0 / 6, 1e-12);
+  EXPECT_NEAR(pf, 2.0 / 6, 1e-12);
+}
+
+TEST(EmpiricalJointStatsTest, ExactLikelihoodRequiresNoSmoothing) {
+  Dataset d = MakeMotivatingExample();
+  JointStatsOptions smooth;
+  smooth.smoothing = 1.0;
+  auto stats = EmpiricalJointStats::Create(d, d.labeled_mask(),
+                                           AllSources(d), smooth);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE((*stats)->SupportsExactLikelihood());
+  double pt = 0.0;
+  double pf = 0.0;
+  EXPECT_FALSE(
+      (*stats)->ExactPatternLikelihood(1, 2, &pt, &pf).ok());
+}
+
+TEST(EmpiricalJointStatsTest, ExactLikelihoodRejectsOverlap) {
+  Dataset d = MakeMotivatingExample();
+  auto stats =
+      EmpiricalJointStats::Create(d, d.labeled_mask(), AllSources(d), {});
+  ASSERT_TRUE(stats.ok());
+  double pt = 0.0;
+  double pf = 0.0;
+  EXPECT_FALSE((*stats)->ExactPatternLikelihood(0b011, 0b001, &pt, &pf).ok());
+}
+
+TEST(EmpiricalJointStatsTest, RejectsBadArguments) {
+  Dataset d = MakeMotivatingExample();
+  EXPECT_FALSE(
+      EmpiricalJointStats::Create(d, d.labeled_mask(), {}, {}).ok());
+  JointStatsOptions bad;
+  bad.alpha = 1.5;
+  EXPECT_FALSE(EmpiricalJointStats::Create(d, d.labeled_mask(),
+                                           AllSources(d), bad)
+                   .ok());
+}
+
+TEST(EmpiricalJointStatsTest, SmoothingKeepsRatesPositive) {
+  Dataset d = MakeMotivatingExample();
+  JointStatsOptions smooth;
+  smooth.smoothing = 0.5;
+  auto stats = EmpiricalJointStats::Create(d, d.labeled_mask(),
+                                           AllSources(d), smooth);
+  ASSERT_TRUE(stats.ok());
+  // No triple is provided by all five sources; smoothing keeps the joint
+  // recall strictly positive.
+  JointQuality full = (*stats)->Get(0b11111);
+  EXPECT_GT(full.recall, 0.0);
+  EXPECT_GT(full.fpr, 0.0);
+}
+
+TEST(EmpiricalJointStatsTest, ScopeRestrictedDenominator) {
+  // Two domains; source "narrow" only covers d1, so the joint recall of
+  // {wide, narrow} must be relative to d1's true triples.
+  Dataset d;
+  SourceId wide = d.AddSource("wide");
+  SourceId narrow = d.AddSource("narrow");
+  TripleId a = d.AddTriple({"a", "x", "1"}, "d1");
+  TripleId b = d.AddTriple({"b", "x", "1"}, "d1");
+  TripleId c = d.AddTriple({"c", "x", "1"}, "d2");
+  for (TripleId t : {a, b, c}) d.SetLabel(t, true);
+  d.Provide(wide, a);
+  d.Provide(wide, c);
+  d.Provide(narrow, a);
+  d.Provide(narrow, b);
+  ASSERT_TRUE(d.Finalize().ok());
+
+  JointStatsOptions scoped;
+  scoped.use_scopes = true;
+  auto stats =
+      EmpiricalJointStats::Create(d, d.labeled_mask(), {wide, narrow},
+                                  scoped);
+  ASSERT_TRUE(stats.ok());
+  // Both provide a; scope of the pair covers d1 only (2 true triples).
+  JointQuality pair = (*stats)->Get(0b11);
+  EXPECT_NEAR(pair.recall, 0.5, 1e-12);
+
+  JointStatsOptions unscoped;
+  auto stats2 = EmpiricalJointStats::Create(d, d.labeled_mask(),
+                                            {wide, narrow}, unscoped);
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_NEAR((*stats2)->Get(0b11).recall, 1.0 / 3, 1e-12);
+}
+
+TEST(ExplicitJointStatsTest, ReturnsSetValuesAndFallsBack) {
+  std::vector<JointQuality> singles = {{0.8, 0.5, 0.1}, {0.7, 0.4, 0.2}};
+  ExplicitJointStats stats(singles, 0.5);
+  EXPECT_NEAR(stats.Get(0b01).recall, 0.5, 1e-12);
+  EXPECT_NEAR(stats.Get(0b10).fpr, 0.2, 1e-12);
+  // Fallback: independence.
+  JointQuality pair = stats.Get(0b11);
+  EXPECT_NEAR(pair.recall, 0.2, 1e-12);
+  EXPECT_NEAR(pair.fpr, 0.02, 1e-12);
+  // Override.
+  stats.SetJoint(0b11, {0.9, 0.4, 0.01});
+  EXPECT_NEAR(stats.Get(0b11).recall, 0.4, 1e-12);
+  // Empty set convention.
+  EXPECT_DOUBLE_EQ(stats.Get(0).recall, 1.0);
+  EXPECT_DOUBLE_EQ(stats.Get(0).fpr, 1.0);
+}
+
+}  // namespace
+}  // namespace fuser

@@ -1,0 +1,240 @@
+// Unit tests for the data model: triples, interning, Dataset construction,
+// scopes/domains, TSV I/O, and train/test splits.
+#include <cstdio>
+
+#include "gtest/gtest.h"
+#include "model/dataset.h"
+#include "model/dataset_io.h"
+#include "model/split.h"
+#include "model/triple.h"
+
+namespace fuser {
+namespace {
+
+TEST(TripleTest, EqualityAndToString) {
+  Triple a{"s", "p", "o"};
+  Triple b{"s", "p", "o"};
+  Triple c{"s", "p", "x"};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.ToString(), "{s, p, o}");
+}
+
+TEST(TripleTest, HashSeparatesFields) {
+  TripleHash h;
+  // {"ab",""} vs {"a","b"}: the separator must keep these distinct.
+  EXPECT_NE(h({"ab", "", "x"}), h({"a", "b", "x"}));
+}
+
+TEST(TripleDictionaryTest, InternsAndLooksUp) {
+  TripleDictionary dict;
+  TripleId a = dict.Intern({"s", "p", "o"});
+  TripleId b = dict.Intern({"s", "p", "o2"});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern({"s", "p", "o"}), a);
+  EXPECT_EQ(dict.Lookup({"s", "p", "o2"}), b);
+  EXPECT_EQ(dict.Lookup({"nope", "p", "o"}), kInvalidTriple);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Get(a).object, "o");
+}
+
+Dataset MakeTinyDataset() {
+  Dataset d;
+  SourceId s0 = d.AddSource("alpha");
+  SourceId s1 = d.AddSource("beta");
+  TripleId t0 = d.AddTriple({"e1", "a", "v1"}, "d1");
+  TripleId t1 = d.AddTriple({"e2", "a", "v2"}, "d1");
+  TripleId t2 = d.AddTriple({"e3", "a", "v3"}, "d2");
+  d.Provide(s0, t0);
+  d.Provide(s0, t1);
+  d.Provide(s1, t0);
+  d.Provide(s1, t2);
+  d.SetLabel(t0, true);
+  d.SetLabel(t1, false);
+  d.SetLabel(t2, true);
+  EXPECT_TRUE(d.Finalize().ok());
+  return d;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset d = MakeTinyDataset();
+  EXPECT_EQ(d.num_sources(), 2u);
+  EXPECT_EQ(d.num_triples(), 3u);
+  EXPECT_EQ(d.num_domains(), 2u);
+  EXPECT_TRUE(d.provides(0, 0));
+  EXPECT_FALSE(d.provides(0, 2));
+  EXPECT_EQ(d.providers(0), (std::vector<SourceId>{0, 1}));
+  EXPECT_EQ(d.providers(2), (std::vector<SourceId>{1}));
+  EXPECT_EQ(d.label(0), Label::kTrue);
+  EXPECT_EQ(d.label(1), Label::kFalse);
+  EXPECT_EQ(d.num_true(), 2u);
+  EXPECT_EQ(d.num_labeled(), 3u);
+  EXPECT_EQ(d.output_size(0), 2u);
+}
+
+TEST(DatasetTest, DuplicateProvideIsIdempotent) {
+  Dataset d;
+  SourceId s = d.AddSource("src");
+  TripleId t = d.AddTriple({"e", "a", "v"});
+  d.Provide(s, t);
+  d.Provide(s, t);
+  ASSERT_TRUE(d.Finalize().ok());
+  EXPECT_EQ(d.output_size(s), 1u);
+  EXPECT_EQ(d.providers(t).size(), 1u);
+}
+
+TEST(DatasetTest, ReAddingTripleReturnsSameId) {
+  Dataset d;
+  d.AddSource("src");
+  TripleId a = d.AddTriple({"e", "a", "v"}, "dom");
+  TripleId b = d.AddTriple({"e", "a", "v"}, "other");
+  EXPECT_EQ(a, b);
+}
+
+TEST(DatasetTest, ScopeFollowsDomains) {
+  Dataset d = MakeTinyDataset();
+  // alpha provides only in d1; beta provides in d1 and d2.
+  EXPECT_TRUE(d.in_scope(0, 0));
+  EXPECT_TRUE(d.in_scope(0, 1));
+  EXPECT_FALSE(d.in_scope(0, 2));  // alpha has no triple in d2
+  EXPECT_TRUE(d.in_scope(1, 2));
+  EXPECT_EQ(d.in_scope_sources(2), (std::vector<SourceId>{1}));
+  EXPECT_EQ(d.in_scope_sources(0), (std::vector<SourceId>{0, 1}));
+}
+
+TEST(DatasetTest, ProvidersAreAlwaysInScope) {
+  Dataset d = MakeTinyDataset();
+  for (TripleId t = 0; t < d.num_triples(); ++t) {
+    for (SourceId s : d.providers(t)) {
+      EXPECT_TRUE(d.in_scope(s, t));
+    }
+  }
+}
+
+TEST(DatasetTest, FinalizeRejectsEmpty) {
+  Dataset empty;
+  EXPECT_FALSE(empty.Finalize().ok());
+  Dataset no_triples;
+  no_triples.AddSource("s");
+  EXPECT_FALSE(no_triples.Finalize().ok());
+}
+
+TEST(DatasetTest, FinalizeTwiceFails) {
+  Dataset d = MakeTinyDataset();
+  EXPECT_EQ(d.Finalize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatasetTest, FindSource) {
+  Dataset d = MakeTinyDataset();
+  auto s = d.FindSource("beta");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, 1u);
+  EXPECT_EQ(d.FindSource("gamma").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetIoTest, RoundTrip) {
+  Dataset d = MakeTinyDataset();
+  std::string obs_path = testing::TempDir() + "/fuser_obs.tsv";
+  std::string gold_path = testing::TempDir() + "/fuser_gold.tsv";
+  ASSERT_TRUE(SaveObservations(d, obs_path).ok());
+  ASSERT_TRUE(SaveGold(d, gold_path).ok());
+
+  auto loaded = LoadDataset(obs_path, gold_path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_sources(), d.num_sources());
+  EXPECT_EQ(loaded->num_triples(), d.num_triples());
+  EXPECT_EQ(loaded->num_true(), d.num_true());
+  EXPECT_EQ(loaded->num_labeled(), d.num_labeled());
+  EXPECT_EQ(loaded->num_domains(), d.num_domains());
+  // Observation matrix must match triple-by-triple.
+  for (TripleId t = 0; t < d.num_triples(); ++t) {
+    const Triple& triple = d.triple(t);
+    TripleId lt = loaded->FindTriple(triple);
+    ASSERT_NE(lt, kInvalidTriple);
+    EXPECT_EQ(loaded->label(lt), d.label(t)) << triple.ToString();
+    EXPECT_EQ(loaded->providers(lt).size(), d.providers(t).size());
+  }
+  std::remove(obs_path.c_str());
+  std::remove(gold_path.c_str());
+}
+
+TEST(DatasetIoTest, LoadWithoutGoldLeavesUnlabeled) {
+  Dataset d = MakeTinyDataset();
+  std::string obs_path = testing::TempDir() + "/fuser_obs2.tsv";
+  ASSERT_TRUE(SaveObservations(d, obs_path).ok());
+  auto loaded = LoadDataset(obs_path, "");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_labeled(), 0u);
+  std::remove(obs_path.c_str());
+}
+
+TEST(DatasetIoTest, RejectsMalformedRows) {
+  std::string path = testing::TempDir() + "/fuser_bad.tsv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    fputs("src\tonly-two\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(LoadDataset(path, "").ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, RejectsBadLabel) {
+  std::string obs = testing::TempDir() + "/fuser_obs3.tsv";
+  std::string gold = testing::TempDir() + "/fuser_gold3.tsv";
+  {
+    FILE* f = fopen(obs.c_str(), "w");
+    fputs("src\te\ta\tv\n", f);
+    fclose(f);
+    f = fopen(gold.c_str(), "w");
+    fputs("e\ta\tv\tmaybe\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(LoadDataset(obs, gold).ok());
+  std::remove(obs.c_str());
+  std::remove(gold.c_str());
+}
+
+TEST(SplitTest, FullGoldSplitCoversLabeled) {
+  Dataset d = MakeTinyDataset();
+  TrainTestSplit split = FullGoldSplit(d);
+  EXPECT_EQ(split.train.Count(), d.num_labeled());
+  EXPECT_EQ(split.test.Count(), d.num_labeled());
+}
+
+TEST(SplitTest, StratifiedSplitPartitionsLabeled) {
+  Dataset d;
+  SourceId s = d.AddSource("src");
+  for (int i = 0; i < 100; ++i) {
+    TripleId t = d.AddTriple({"e" + std::to_string(i), "a", "v"});
+    d.Provide(s, t);
+    d.SetLabel(t, i < 60);  // 60 true, 40 false
+  }
+  ASSERT_TRUE(d.Finalize().ok());
+  Rng rng(5);
+  auto split = StratifiedSplit(d, 0.5, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.Count(), 50u);
+  EXPECT_EQ(split->test.Count(), 50u);
+  // Disjoint and exhaustive over labeled triples.
+  DynamicBitset overlap = split->train;
+  overlap.AndWith(split->test);
+  EXPECT_EQ(overlap.Count(), 0u);
+  DynamicBitset all = split->train;
+  all.OrWith(split->test);
+  EXPECT_TRUE(all == d.labeled_mask());
+  // Stratified: 30 true in each half.
+  DynamicBitset train_true = split->train;
+  train_true.AndWith(d.true_mask());
+  EXPECT_EQ(train_true.Count(), 30u);
+}
+
+TEST(SplitTest, RejectsBadFraction) {
+  Dataset d = MakeTinyDataset();
+  Rng rng(1);
+  EXPECT_FALSE(StratifiedSplit(d, 1.5, &rng).ok());
+  EXPECT_FALSE(StratifiedSplit(d, -0.1, &rng).ok());
+}
+
+}  // namespace
+}  // namespace fuser

@@ -1,0 +1,246 @@
+// Tests for the synthetic generators and the paper-dataset simulators.
+#include <cmath>
+
+#include "core/correlation.h"
+#include "core/quality.h"
+#include "gtest/gtest.h"
+#include "synth/generator.h"
+#include "synth/paper_datasets.h"
+
+namespace fuser {
+namespace {
+
+std::vector<SourceId> AllSources(const Dataset& d) {
+  std::vector<SourceId> all(d.num_sources());
+  for (SourceId s = 0; s < d.num_sources(); ++s) all[s] = s;
+  return all;
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  SyntheticConfig config = MakeIndependentConfig(5, 500, 0.3, 0.7, 0.4, 99);
+  auto a = GenerateSynthetic(config);
+  auto b = GenerateSynthetic(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_triples(), b->num_triples());
+  EXPECT_EQ(a->num_true(), b->num_true());
+  for (SourceId s = 0; s < a->num_sources(); ++s) {
+    EXPECT_EQ(a->output_size(s), b->output_size(s));
+  }
+}
+
+TEST(GeneratorTest, HitsMarginalTargets) {
+  SyntheticConfig config =
+      MakeIndependentConfig(5, 4000, 0.25, 0.6, 0.3, /*seed=*/101);
+  auto d = GenerateSynthetic(config);
+  ASSERT_TRUE(d.ok());
+  auto quality = EstimateSourceQuality(*d, d->labeled_mask(), {});
+  ASSERT_TRUE(quality.ok());
+  // Recall is measured against *observed* true triples (the paper's
+  // definition): true triples provided by no source are dropped, so the
+  // expected measured recall is r / (1 - (1-r)^n).
+  const double coverage = 1.0 - std::pow(1.0 - 0.3, 5);
+  for (SourceId s = 0; s < 5; ++s) {
+    EXPECT_NEAR((*quality)[s].precision, 0.6, 0.08) << "source " << s;
+    EXPECT_NEAR((*quality)[s].recall, 0.3 / coverage, 0.04) << "source " << s;
+  }
+}
+
+TEST(GeneratorTest, FractionTrueRespected) {
+  SyntheticConfig config =
+      MakeIndependentConfig(5, 2000, 0.25, 0.6, 0.4, /*seed=*/103);
+  auto d = GenerateSynthetic(config);
+  ASSERT_TRUE(d.ok());
+  // Universe is 500/1500; observed triples keep roughly that ratio (false
+  // triples are dropped more often at low q, so allow slack).
+  double frac = static_cast<double>(d->num_true()) /
+                static_cast<double>(d->num_labeled());
+  EXPECT_GT(frac, 0.15);
+  EXPECT_LT(frac, 0.55);
+}
+
+TEST(GeneratorTest, PositiveGroupRaisesJointRecall) {
+  SyntheticConfig config =
+      MakeIndependentConfig(4, 4000, 0.5, 0.7, 0.4, /*seed=*/107);
+  config.groups_true = {{{0, 1}, 0.9}};
+  auto d = GenerateSynthetic(config);
+  ASSERT_TRUE(d.ok());
+  auto pairs =
+      ComputePairwiseCorrelations(*d, d->labeled_mask(), AllSources(*d), {});
+  ASSERT_TRUE(pairs.ok());
+  double c01 = 0.0;
+  double c23 = 0.0;
+  for (const PairwiseCorrelation& pc : *pairs) {
+    if (pc.a == 0 && pc.b == 1) c01 = pc.factors.on_true;
+    if (pc.a == 2 && pc.b == 3) c23 = pc.factors.on_true;
+  }
+  // The independent pair sits at the coverage-deflated baseline; the
+  // injected pair must stand clearly above it.
+  EXPECT_GT(c01, 1.5);
+  EXPECT_GT(c01, 1.5 * c23);
+  EXPECT_LT(c23, 1.2);
+}
+
+TEST(GeneratorTest, RhoOneMakesReplicas) {
+  SyntheticConfig config =
+      MakeIndependentConfig(2, 3000, 0.5, 0.7, 0.5, /*seed=*/109);
+  config.groups_true = {{{0, 1}, 1.0}};
+  config.groups_false = {{{0, 1}, 1.0}};
+  auto d = GenerateSynthetic(config);
+  ASSERT_TRUE(d.ok());
+  // With rho = 1 both sources provide exactly the same triples.
+  size_t mismatches = 0;
+  for (TripleId t = 0; t < d->num_triples(); ++t) {
+    if (d->provides(0, t) != d->provides(1, t)) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u);
+}
+
+TEST(GeneratorTest, PartitionsMakeComplementarySources) {
+  SyntheticConfig config =
+      MakeIndependentConfig(2, 3000, 0.5, 0.7, 0.45, /*seed=*/113);
+  config.true_partition_fractions = {0.5, 0.5};
+  config.sources[0].true_partition = 0;
+  config.sources[1].true_partition = 1;
+  auto d = GenerateSynthetic(config);
+  ASSERT_TRUE(d.ok());
+  // No true triple is provided by both.
+  size_t both = 0;
+  d->true_mask().ForEach([&](size_t t) {
+    if (d->provides(0, static_cast<TripleId>(t)) &&
+        d->provides(1, static_cast<TripleId>(t))) {
+      ++both;
+    }
+  });
+  EXPECT_EQ(both, 0u);
+}
+
+TEST(GeneratorTest, PartialLabels) {
+  SyntheticConfig config =
+      MakeIndependentConfig(5, 1000, 0.5, 0.8, 0.6, /*seed=*/127);
+  config.labeled_true = 100;
+  config.labeled_false = 50;
+  auto d = GenerateSynthetic(config);
+  ASSERT_TRUE(d.ok());
+  EXPECT_LE(d->num_true(), 100u);
+  EXPECT_LE(d->num_labeled(), 150u);
+  EXPECT_GT(d->num_triples(), d->num_labeled());
+}
+
+TEST(GeneratorTest, GoldActivityZeroKeepsSourceOutOfGold) {
+  SyntheticConfig config =
+      MakeIndependentConfig(3, 1000, 0.5, 0.8, 0.6, /*seed=*/131);
+  config.labeled_true = 200;
+  config.labeled_false = 200;
+  config.sources[2].gold_activity = 0.0;
+  auto d = GenerateSynthetic(config);
+  ASSERT_TRUE(d.ok());
+  size_t labeled_provided = d->output(2).AndCount(d->labeled_mask());
+  EXPECT_EQ(labeled_provided, 0u);
+  EXPECT_GT(d->output_size(2), 0u) << "still provides unlabeled triples";
+}
+
+TEST(GeneratorTest, DomainAssignmentByPartition) {
+  SyntheticConfig config =
+      MakeIndependentConfig(2, 500, 0.5, 0.8, 0.5, /*seed=*/137);
+  config.true_partition_fractions = {0.5, 0.5};
+  config.sources[0].true_partition = 0;
+  config.sources[1].true_partition = 1;
+  config.assign_domains_by_partition = true;
+  auto d = GenerateSynthetic(config);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GE(d->num_domains(), 2u);
+}
+
+TEST(GeneratorTest, RejectsInvalidConfigs) {
+  SyntheticConfig no_sources;
+  EXPECT_FALSE(GenerateSynthetic(no_sources).ok());
+
+  SyntheticConfig bad_rho = MakeIndependentConfig(3, 100, 0.5, 0.8, 0.5, 1);
+  bad_rho.groups_true = {{{0, 1}, 1.5}};
+  EXPECT_FALSE(GenerateSynthetic(bad_rho).ok());
+
+  SyntheticConfig overlap = MakeIndependentConfig(3, 100, 0.5, 0.8, 0.5, 1);
+  overlap.groups_true = {{{0, 1}, 0.5}, {{1, 2}, 0.5}};
+  EXPECT_FALSE(GenerateSynthetic(overlap).ok());
+
+  SyntheticConfig bad_precision =
+      MakeIndependentConfig(3, 100, 0.5, 0.8, 0.5, 1);
+  bad_precision.sources[0].precision = 0.0;
+  EXPECT_FALSE(GenerateSynthetic(bad_precision).ok());
+
+  SyntheticConfig bad_partition =
+      MakeIndependentConfig(3, 100, 0.5, 0.8, 0.5, 1);
+  bad_partition.sources[0].true_partition = 2;  // no fractions configured
+  EXPECT_FALSE(GenerateSynthetic(bad_partition).ok());
+}
+
+// ---------- Paper dataset simulators ----------
+
+TEST(PaperDatasetsTest, ReverbShape) {
+  auto d = MakeReverbDataset(1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_sources(), 6u);
+  // Gold standard: ~2407 triples, 616 true / 1791 false (minus the few
+  // never provided by any source).
+  EXPECT_GT(d->num_labeled(), 1300u);
+  EXPECT_LT(d->num_labeled(), 2407u + 1);
+  EXPECT_GT(d->num_true(), 500u);
+  // Low-quality regime (relative to RESTAURANT's 0.9+ precisions).
+  auto quality = EstimateSourceQuality(*d, d->labeled_mask(), {});
+  ASSERT_TRUE(quality.ok());
+  for (const SourceQuality& q : *quality) {
+    EXPECT_LT(q.precision, 0.72);
+    EXPECT_LT(q.recall, 0.6);
+  }
+}
+
+TEST(PaperDatasetsTest, ReverbAntiCorrelatedSource) {
+  auto d = MakeReverbDataset(2);
+  ASSERT_TRUE(d.ok());
+  std::vector<SourceId> all = AllSources(*d);
+  auto pairs = ComputePairwiseCorrelations(*d, d->labeled_mask(), all, {});
+  ASSERT_TRUE(pairs.ok());
+  // Source 5 shares no false triples with anyone.
+  for (const PairwiseCorrelation& pc : *pairs) {
+    if (pc.b == 5) {
+      EXPECT_LT(pc.factors.on_false, 0.3)
+          << "source " << pc.a << " vs the exclusive-mistakes source";
+    }
+  }
+}
+
+TEST(PaperDatasetsTest, RestaurantShape) {
+  auto d = MakeRestaurantDataset(1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_sources(), 7u);
+  EXPECT_LE(d->num_labeled(), 93u);
+  EXPECT_GT(d->num_labeled(), 60u);
+  auto quality = EstimateSourceQuality(*d, d->labeled_mask(), {});
+  ASSERT_TRUE(quality.ok());
+  for (const SourceQuality& q : *quality) {
+    EXPECT_GT(q.precision, 0.7) << "restaurant sources are high-precision";
+  }
+}
+
+TEST(PaperDatasetsTest, BookShape) {
+  auto d = MakeBookDataset(1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_sources(), 879u);
+  // ~1417 labeled author triples over 225 gold books (the claim-based
+  // generator draws 1-3 true + 3-6 false variants per book).
+  EXPECT_GE(d->num_labeled(), 1200u);
+  EXPECT_LE(d->num_labeled(), 1650u);
+  EXPECT_GT(d->num_triples(), 4000u);
+  EXPECT_GE(d->num_domains(), 900u) << "one domain per book";
+  // Only gold-active sellers touch labeled triples.
+  size_t active = 0;
+  for (SourceId s = 0; s < d->num_sources(); ++s) {
+    if (d->output(s).AndCount(d->labeled_mask()) > 0) ++active;
+  }
+  EXPECT_LE(active, 333u);
+  EXPECT_GT(active, 250u);
+}
+
+}  // namespace
+}  // namespace fuser
