@@ -34,20 +34,28 @@ struct MethodResult {
 };
 
 /// Runs `methods` (by name) on `dataset` with quality estimated from the
-/// full gold standard, mirroring the paper's evaluation setup.
+/// full gold standard, mirroring the paper's evaluation setup. Uses
+/// FusionEngine::RunAll so the whole lineup shares one correlation model
+/// and one distinct-pattern grouping.
 inline std::vector<MethodResult> RunMethods(
     const Dataset& dataset, const std::vector<std::string>& methods,
     EngineOptions options = {}) {
   FusionEngine engine(&dataset, options);
   Status prepared = engine.Prepare(dataset.labeled_mask());
   FUSER_CHECK(prepared.ok()) << prepared;
-  std::vector<MethodResult> results;
+  std::vector<MethodSpec> specs;
   for (const std::string& name : methods) {
     auto spec = ParseMethodSpec(name);
     FUSER_CHECK(spec.ok()) << spec.status();
-    auto eval = engine.RunAndEvaluate(*spec, dataset.labeled_mask());
-    FUSER_CHECK(eval.ok()) << name << ": " << eval.status();
-    results.push_back({name, *eval});
+    specs.push_back(*spec);
+  }
+  auto runs = engine.RunAll(specs);
+  FUSER_CHECK(runs.ok()) << runs.status();
+  std::vector<MethodResult> results;
+  for (size_t i = 0; i < runs->size(); ++i) {
+    auto eval = engine.Evaluate((*runs)[i], dataset.labeled_mask());
+    FUSER_CHECK(eval.ok()) << methods[i] << ": " << eval.status();
+    results.push_back({methods[i], *eval});
   }
   return results;
 }

@@ -1,8 +1,8 @@
 // Command-line driver: fuse a TSV observation dump with any method.
 //
 //   fuser_cli <observations.tsv> <gold.tsv> <method> [options]
-//     method:  union-K | 3estimates | cosine | ltm | precrec |
-//              precrec-corr | aggressive | elastic-N
+//     method:  any method registered in the MethodRegistry (run with no
+//              arguments for the current lineup)
 //     options: --alpha=0.5 --threshold=0.5 --scopes --cluster
 //              --train-fraction=1.0 --seed=7 --out=fused.tsv
 //
@@ -20,13 +20,26 @@
 
 namespace {
 
+/// The registered method lineup, e.g. "union-K | 3estimates | ... |
+/// elastic-L"; the CLI accepts whatever the registry knows about.
+std::string MethodLineup() {
+  std::string lineup;
+  for (const fuser::FusionMethod* method :
+       fuser::MethodRegistry::Global().All()) {
+    if (!lineup.empty()) lineup += " | ";
+    lineup += method->usage();
+  }
+  return lineup;
+}
+
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s <observations.tsv> <gold.tsv> <method> [--alpha=A]\n"
       "          [--threshold=T] [--scopes] [--cluster]\n"
-      "          [--train-fraction=F] [--seed=S] [--out=PATH]\n",
-      argv0);
+      "          [--train-fraction=F] [--seed=S] [--out=PATH]\n"
+      "  method: %s\n",
+      argv0, MethodLineup().c_str());
 }
 
 }  // namespace

@@ -1,0 +1,143 @@
+#include "baselines/method_adapters.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "baselines/cosine.h"
+#include "baselines/ltm.h"
+#include "baselines/three_estimates.h"
+#include "baselines/union_k.h"
+#include "common/string_util.h"
+
+namespace fuser {
+
+namespace {
+
+class UnionKMethod : public FusionMethod {
+ public:
+  MethodKind kind() const override { return MethodKind::kUnion; }
+  const char* id() const override { return "union"; }
+  const char* usage() const override { return "union-K"; }
+
+  double DefaultThreshold(const MethodSpec& spec,
+                          const EngineOptions& options) const override {
+    (void)options;
+    return UnionKThreshold(spec.union_percent);
+  }
+
+  std::optional<StatusOr<MethodSpec>> TryParse(
+      const std::string& name) const override {
+    MethodSpec spec;
+    spec.kind = kind();
+    if (name == "majority") {
+      spec.union_percent = 50.0;
+      return spec;
+    }
+    if (!StartsWith(name, "union-")) {
+      return std::nullopt;
+    }
+    double percent = 0.0;
+    // The inverted comparison also rejects NaN ("union-nan"), which would
+    // pass percent < 0.0 || percent > 100.0 and poison the threshold.
+    if (!ParseDouble(name.substr(6), &percent) ||
+        !(percent >= 0.0 && percent <= 100.0)) {
+      return StatusOr<MethodSpec>(
+          Status::InvalidArgument("bad union percentage in: " + name));
+    }
+    spec.union_percent = percent;
+    return spec;
+  }
+
+  std::string SpecName(const MethodSpec& spec) const override {
+    return StrFormat("union-%g", spec.union_percent);
+  }
+
+  StatusOr<std::vector<double>> Score(const MethodContext& context,
+                                      const MethodSpec& spec) const override {
+    UnionKOptions options;
+    options.percent = spec.union_percent;
+    options.use_scopes = context.options->model.use_scopes;
+    return UnionKScores(*context.dataset, options);
+  }
+};
+
+class ThreeEstimatesMethod : public FusionMethod {
+ public:
+  MethodKind kind() const override { return MethodKind::kThreeEstimates; }
+  const char* id() const override { return "3estimates"; }
+
+  std::optional<StatusOr<MethodSpec>> TryParse(
+      const std::string& name) const override {
+    if (name != "3estimates" && name != "3-estimates") {
+      return std::nullopt;
+    }
+    MethodSpec spec;
+    spec.kind = kind();
+    return spec;
+  }
+
+  StatusOr<std::vector<double>> Score(const MethodContext& context,
+                                      const MethodSpec& spec) const override {
+    (void)spec;
+    return ThreeEstimatesScores(*context.dataset,
+                                context.options->three_estimates);
+  }
+};
+
+class CosineMethod : public FusionMethod {
+ public:
+  MethodKind kind() const override { return MethodKind::kCosine; }
+  const char* id() const override { return "cosine"; }
+
+  std::optional<StatusOr<MethodSpec>> TryParse(
+      const std::string& name) const override {
+    if (name != "cosine") {
+      return std::nullopt;
+    }
+    MethodSpec spec;
+    spec.kind = kind();
+    return spec;
+  }
+
+  StatusOr<std::vector<double>> Score(const MethodContext& context,
+                                      const MethodSpec& spec) const override {
+    (void)spec;
+    return CosineScores(*context.dataset, context.options->cosine);
+  }
+};
+
+class LtmMethod : public FusionMethod {
+ public:
+  MethodKind kind() const override { return MethodKind::kLtm; }
+  const char* id() const override { return "ltm"; }
+
+  std::optional<StatusOr<MethodSpec>> TryParse(
+      const std::string& name) const override {
+    if (name != "ltm") {
+      return std::nullopt;
+    }
+    MethodSpec spec;
+    spec.kind = kind();
+    return spec;
+  }
+
+  StatusOr<std::vector<double>> Score(const MethodContext& context,
+                                      const MethodSpec& spec) const override {
+    (void)spec;
+    return LtmScores(*context.dataset, context.options->ltm);
+  }
+};
+
+}  // namespace
+
+Status RegisterBaselineFusionMethods(MethodRegistry* registry) {
+  FUSER_RETURN_IF_ERROR(registry->Register(std::make_unique<UnionKMethod>()));
+  FUSER_RETURN_IF_ERROR(
+      registry->Register(std::make_unique<ThreeEstimatesMethod>()));
+  FUSER_RETURN_IF_ERROR(registry->Register(std::make_unique<CosineMethod>()));
+  FUSER_RETURN_IF_ERROR(registry->Register(std::make_unique<LtmMethod>()));
+  return Status::OK();
+}
+
+}  // namespace fuser

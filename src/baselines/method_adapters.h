@@ -1,0 +1,21 @@
+// FusionMethod adapter shims for the baseline scorers.
+//
+// The baseline implementations (union_k, three_estimates, cosine, ltm) are
+// plain scoring functions; these adapters wrap each one in the FusionMethod
+// interface so they resolve through the MethodRegistry like the paper's own
+// methods.
+#ifndef FUSER_BASELINES_METHOD_ADAPTERS_H_
+#define FUSER_BASELINES_METHOD_ADAPTERS_H_
+
+#include "common/status.h"
+#include "core/fusion_method.h"
+
+namespace fuser {
+
+/// Registers the four baseline methods (union-K, 3estimates, cosine, ltm)
+/// into `registry`. Called by MethodRegistry::Global().
+Status RegisterBaselineFusionMethods(MethodRegistry* registry);
+
+}  // namespace fuser
+
+#endif  // FUSER_BASELINES_METHOD_ADAPTERS_H_

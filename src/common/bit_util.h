@@ -7,7 +7,6 @@
 #ifndef FUSER_COMMON_BIT_UTIL_H_
 #define FUSER_COMMON_BIT_UTIL_H_
 
-#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -16,10 +15,37 @@ namespace fuser {
 
 using Mask = uint64_t;
 
-inline int PopCount(Mask m) { return std::popcount(m); }
+/// Portable (C++17) popcount / count-trailing-zeros over 64-bit words.
+#if defined(__GNUC__) || defined(__clang__)
+inline int PopCount64(uint64_t m) { return __builtin_popcountll(m); }
+
+/// Undefined for m == 0 (mirrors the hardware instruction).
+inline int CountTrailingZeros64(uint64_t m) { return __builtin_ctzll(m); }
+#else
+inline int PopCount64(uint64_t m) {
+  int c = 0;
+  while (m != 0) {
+    m &= m - 1;
+    ++c;
+  }
+  return c;
+}
+
+/// Undefined for m == 0 (mirrors the hardware instruction).
+inline int CountTrailingZeros64(uint64_t m) {
+  int c = 0;
+  while ((m & 1) == 0) {
+    m >>= 1;
+    ++c;
+  }
+  return c;
+}
+#endif
+
+inline int PopCount(Mask m) { return PopCount64(m); }
 
 /// Index of the lowest set bit; undefined for m == 0.
-inline int LowestBit(Mask m) { return std::countr_zero(m); }
+inline int LowestBit(Mask m) { return CountTrailingZeros64(m); }
 
 /// Mask with bits [0, n) set. n must be <= 64.
 inline Mask FullMask(int n) {
@@ -37,7 +63,7 @@ std::vector<int> BitIndices(Mask m);
 template <typename Fn>
 void ForEachBit(Mask m, Fn&& fn) {
   while (m != 0) {
-    fn(std::countr_zero(m));
+    fn(CountTrailingZeros64(m));
     m &= m - 1;
   }
 }

@@ -5,11 +5,11 @@
 #ifndef FUSER_COMMON_BITSET_H_
 #define FUSER_COMMON_BITSET_H_
 
-#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "common/bit_util.h"
 #include "common/logging.h"
 
 namespace fuser {
@@ -69,7 +69,7 @@ class DynamicBitset {
   /// Number of set bits.
   size_t Count() const {
     size_t c = 0;
-    for (uint64_t w : words_) c += static_cast<size_t>(std::popcount(w));
+    for (uint64_t w : words_) c += static_cast<size_t>(PopCount64(w));
     return c;
   }
 
@@ -103,7 +103,7 @@ class DynamicBitset {
     FUSER_CHECK_EQ(size_, other.size_);
     size_t c = 0;
     for (size_t i = 0; i < words_.size(); ++i) {
-      c += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+      c += static_cast<size_t>(PopCount64(words_[i] & other.words_[i]));
     }
     return c;
   }
@@ -114,7 +114,7 @@ class DynamicBitset {
     for (size_t wi = 0; wi < words_.size(); ++wi) {
       uint64_t w = words_[wi];
       while (w != 0) {
-        int b = std::countr_zero(w);
+        int b = CountTrailingZeros64(w);
         fn(wi * 64 + static_cast<size_t>(b));
         w &= w - 1;
       }

@@ -6,7 +6,7 @@
 namespace fuser {
 
 ThreadPool::ThreadPool(size_t num_threads) {
-  num_threads = std::max<size_t>(1, num_threads);
+  num_threads = ResolveNumThreads(num_threads);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -60,10 +60,16 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+size_t ResolveNumThreads(size_t num_threads) {
+  if (num_threads != 0) return num_threads;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
 void ParallelFor(size_t count, size_t num_threads,
                  const std::function<void(size_t)>& fn) {
   if (count == 0) return;
-  num_threads = std::min(num_threads, count);
+  num_threads = std::min(ResolveNumThreads(num_threads), count);
   if (num_threads <= 1) {
     for (size_t i = 0; i < count; ++i) fn(i);
     return;

@@ -19,7 +19,7 @@ namespace fuser {
 
 class ThreadPool {
  public:
-  /// Creates `num_threads` workers (at least 1).
+  /// Creates `num_threads` workers (0 = one per hardware thread).
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
 
@@ -46,9 +46,16 @@ class ThreadPool {
   std::vector<std::thread> threads_;
 };
 
+/// Resolves a user-facing thread-count setting: 0 ("auto") becomes
+/// std::thread::hardware_concurrency(), floored at 1. Every component that
+/// exposes a num_threads option routes it through here so "auto" means the
+/// same thing everywhere.
+size_t ResolveNumThreads(size_t num_threads);
+
 /// Runs fn(i) for i in [0, count) across `num_threads` workers, blocking
-/// until completion. With num_threads <= 1 (or count small) it runs inline.
-/// `fn` must be safe to invoke concurrently for distinct i.
+/// until completion. num_threads is resolved via ResolveNumThreads (0 =
+/// hardware concurrency); with a single resolved worker (or count <= 1) it
+/// runs inline. `fn` must be safe to invoke concurrently for distinct i.
 void ParallelFor(size_t count, size_t num_threads,
                  const std::function<void(size_t)>& fn);
 

@@ -2,30 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/math_util.h"
-#include "common/thread_pool.h"
 #include "core/correlation.h"
 
 namespace fuser {
-
-namespace {
-
-struct PairHash {
-  size_t operator()(const std::pair<Mask, Mask>& p) const {
-    uint64_t h = p.first * 0x9E3779B97F4A7C15ULL;
-    h ^= (h >> 30);
-    h += p.second * 0xBF58476D1CE4E5B9ULL;
-    h ^= (h >> 27);
-    return static_cast<size_t>(h * 0x94D049BB133111EBULL);
-  }
-};
-
-}  // namespace
 
 Status ElasticClusterLikelihood(const JointStatsProvider& stats,
                                 Mask providers, Mask nonproviders, int level,
@@ -88,94 +72,31 @@ Status ElasticClusterLikelihood(const JointStatsProvider& stats,
 
 StatusOr<std::vector<double>> ElasticScores(const Dataset& dataset,
                                             const CorrelationModel& model,
-                                            const ElasticOptions& options) {
+                                            const ElasticOptions& options,
+                                            const PatternGrouping* grouping) {
   if (!dataset.finalized()) {
     return Status::FailedPrecondition("dataset not finalized");
   }
   if (options.level < 0) {
     return Status::InvalidArgument("level must be >= 0");
   }
-  const size_t num_clusters = model.clustering.clusters.size();
-  if (model.cluster_stats.size() != num_clusters) {
+  if (model.cluster_stats.size() != model.clustering.clusters.size()) {
     return Status::InvalidArgument("model cluster_stats/clusters mismatch");
   }
-  const size_t m = dataset.num_triples();
+  PatternGrouping local;
+  FUSER_ASSIGN_OR_RETURN(grouping,
+                         GetOrBuildGrouping(dataset, model, grouping, &local));
 
-  struct RQ {
-    double r = 1.0;
-    double q = 1.0;
+  auto scorer = [&](size_t c, const PatternKey& key, double* given_true,
+                    double* given_false) -> Status {
+    return ElasticClusterLikelihood(*model.cluster_stats[c], key.providers,
+                                    key.nonproviders, options.level,
+                                    given_true, given_false);
   };
-  std::vector<std::vector<std::pair<Mask, Mask>>> distinct(num_clusters);
-  std::vector<std::vector<size_t>> pattern_of(num_clusters,
-                                              std::vector<size_t>(m, 0));
-  for (size_t c = 0; c < num_clusters; ++c) {
-    std::unordered_map<std::pair<Mask, Mask>, size_t, PairHash> index;
-    for (TripleId t = 0; t < m; ++t) {
-      ClusterObservation obs = GetClusterObservation(dataset, model, c, t);
-      auto key =
-          std::make_pair(obs.providers, obs.in_scope & ~obs.providers);
-      auto [it, inserted] = index.emplace(key, distinct[c].size());
-      if (inserted) distinct[c].push_back(key);
-      pattern_of[c][t] = it->second;
-    }
-  }
-
-  std::vector<std::vector<RQ>> pattern_rq(num_clusters);
-  for (size_t c = 0; c < num_clusters; ++c) {
-    pattern_rq[c].assign(distinct[c].size(), RQ{});
-    const JointStatsProvider& stats = *model.cluster_stats[c];
-    Status first_error;
-    std::mutex error_mu;
-    ParallelFor(distinct[c].size(), options.num_threads, [&](size_t i) {
-      double r = 0.0;
-      double q = 0.0;
-      Status s =
-          ElasticClusterLikelihood(stats, distinct[c][i].first,
-                                   distinct[c][i].second, options.level, &r,
-                                   &q);
-      if (!s.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error.ok()) first_error = s;
-        return;
-      }
-      pattern_rq[c][i].r = std::max(r, 0.0);
-      pattern_rq[c][i].q = std::max(q, 0.0);
-    });
-    if (!first_error.ok()) {
-      return first_error;
-    }
-  }
-
-  std::vector<double> scores(m);
-  for (TripleId t = 0; t < m; ++t) {
-    double log_num = 0.0;
-    double log_den = 0.0;
-    bool num_zero = false;
-    bool den_zero = false;
-    for (size_t c = 0; c < num_clusters; ++c) {
-      const RQ& rq = pattern_rq[c][pattern_of[c][t]];
-      if (rq.r <= 0.0) {
-        num_zero = true;
-      } else {
-        log_num += std::log(rq.r);
-      }
-      if (rq.q <= 0.0) {
-        den_zero = true;
-      } else {
-        log_den += std::log(rq.q);
-      }
-    }
-    if (num_zero && den_zero) {
-      scores[t] = model.alpha;
-    } else if (num_zero) {
-      scores[t] = 0.0;
-    } else if (den_zero) {
-      scores[t] = 1.0;
-    } else {
-      scores[t] = PosteriorFromLogMu(log_num - log_den, model.alpha);
-    }
-  }
-  return scores;
+  FUSER_ASSIGN_OR_RETURN(
+      std::vector<std::vector<PatternLikelihood>> likelihood,
+      ScorePatterns(*grouping, options.num_threads, scorer));
+  return CombinePatternScores(*grouping, likelihood, model.alpha);
 }
 
 }  // namespace fuser

@@ -21,6 +21,7 @@
 
 #include "common/status.h"
 #include "core/correlation_model.h"
+#include "core/pattern_pipeline.h"
 #include "model/dataset.h"
 
 namespace fuser {
@@ -30,15 +31,17 @@ struct ElasticOptions {
   /// starting point of Algorithm 1; higher levels refine toward the exact
   /// solution.
   int level = 3;
-  /// Worker threads for scoring distinct patterns.
-  size_t num_threads = 1;
+  /// Worker threads for scoring distinct patterns; 0 = one per hardware
+  /// thread.
+  size_t num_threads = 0;
 };
 
 /// Scores every triple with the elastic approximation at the configured
-/// level.
-StatusOr<std::vector<double>> ElasticScores(const Dataset& dataset,
-                                            const CorrelationModel& model,
-                                            const ElasticOptions& options);
+/// level. `grouping` optionally supplies a prebuilt pattern grouping for
+/// (dataset, model) — see PrecRecCorrScores.
+StatusOr<std::vector<double>> ElasticScores(
+    const Dataset& dataset, const CorrelationModel& model,
+    const ElasticOptions& options, const PatternGrouping* grouping = nullptr);
 
 /// Per-cluster elastic numerator/denominator for observation (P, N);
 /// exposed for tests against the paper's Example 4.10.

@@ -3,86 +3,10 @@
 #include <utility>
 
 #include "common/logging.h"
-#include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
-#include "core/aggressive.h"
 
 namespace fuser {
-
-std::string MethodSpec::Name() const {
-  switch (kind) {
-    case MethodKind::kUnion:
-      return StrFormat("union-%g", union_percent);
-    case MethodKind::kThreeEstimates:
-      return "3estimates";
-    case MethodKind::kCosine:
-      return "cosine";
-    case MethodKind::kLtm:
-      return "ltm";
-    case MethodKind::kPrecRec:
-      return "precrec";
-    case MethodKind::kPrecRecCorr:
-      return "precrec-corr";
-    case MethodKind::kAggressive:
-      return "aggressive";
-    case MethodKind::kElastic:
-      return StrFormat("elastic-%d", elastic_level);
-  }
-  return "unknown";
-}
-
-StatusOr<MethodSpec> ParseMethodSpec(const std::string& name) {
-  MethodSpec spec;
-  if (name == "majority") {
-    spec.kind = MethodKind::kUnion;
-    spec.union_percent = 50.0;
-    return spec;
-  }
-  if (StartsWith(name, "union-")) {
-    double percent = 0.0;
-    if (!ParseDouble(name.substr(6), &percent) || percent < 0.0 ||
-        percent > 100.0) {
-      return Status::InvalidArgument("bad union percentage in: " + name);
-    }
-    spec.kind = MethodKind::kUnion;
-    spec.union_percent = percent;
-    return spec;
-  }
-  if (name == "3estimates" || name == "3-estimates") {
-    spec.kind = MethodKind::kThreeEstimates;
-    return spec;
-  }
-  if (name == "cosine") {
-    spec.kind = MethodKind::kCosine;
-    return spec;
-  }
-  if (name == "ltm") {
-    spec.kind = MethodKind::kLtm;
-    return spec;
-  }
-  if (name == "precrec") {
-    spec.kind = MethodKind::kPrecRec;
-    return spec;
-  }
-  if (name == "precrec-corr" || name == "precreccorr") {
-    spec.kind = MethodKind::kPrecRecCorr;
-    return spec;
-  }
-  if (name == "aggressive") {
-    spec.kind = MethodKind::kAggressive;
-    return spec;
-  }
-  if (StartsWith(name, "elastic-")) {
-    size_t level = 0;
-    if (!ParseSizeT(name.substr(8), &level)) {
-      return Status::InvalidArgument("bad elastic level in: " + name);
-    }
-    spec.kind = MethodKind::kElastic;
-    spec.elastic_level = static_cast<int>(level);
-    return spec;
-  }
-  return Status::InvalidArgument("unknown method: " + name);
-}
 
 FusionEngine::FusionEngine(const Dataset* dataset, EngineOptions options)
     : dataset_(dataset), options_(std::move(options)) {
@@ -93,7 +17,6 @@ FusionEngine::FusionEngine(const Dataset* dataset, EngineOptions options)
   options_.three_estimates.use_scopes = options_.model.use_scopes;
   options_.cosine.use_scopes = options_.model.use_scopes;
   options_.ltm.use_scopes = options_.model.use_scopes;
-  options_.corr.num_threads = options_.num_threads;
 }
 
 Status FusionEngine::Prepare(const DynamicBitset& train_mask) {
@@ -105,6 +28,7 @@ Status FusionEngine::Prepare(const DynamicBitset& train_mask) {
       quality_, EstimateSourceQuality(*dataset_, train_mask_,
                                       options_.model.ToQualityOptions()));
   model_.reset();
+  grouping_.reset();
   prepared_ = true;
   return Status::OK();
 }
@@ -123,83 +47,96 @@ Status FusionEngine::EnsureModel() {
   return Status::OK();
 }
 
+Status FusionEngine::EnsureGrouping() {
+  FUSER_RETURN_IF_ERROR(EnsureModel());
+  if (grouping_.has_value()) {
+    return Status::OK();
+  }
+  FUSER_ASSIGN_OR_RETURN(PatternGrouping grouping,
+                         BuildPatternGrouping(*dataset_, *model_));
+  grouping_ = std::move(grouping);
+  ++grouping_builds_;
+  return Status::OK();
+}
+
 StatusOr<const CorrelationModel*> FusionEngine::GetModel() {
   FUSER_RETURN_IF_ERROR(EnsureModel());
   return static_cast<const CorrelationModel*>(&*model_);
 }
 
-StatusOr<FusionRun> FusionEngine::Run(const MethodSpec& spec) {
+StatusOr<const PatternGrouping*> FusionEngine::GetPatternGrouping() {
+  FUSER_RETURN_IF_ERROR(EnsureGrouping());
+  return static_cast<const PatternGrouping*>(&*grouping_);
+}
+
+StatusOr<const FusionMethod*> FusionEngine::ResolveAndPrepareContext(
+    const MethodSpec& spec, MethodContext* context) {
   if (!prepared_) {
     return Status::FailedPrecondition("call Prepare before Run");
   }
-  // Correlated methods need the model; build it outside the timed section
-  // (it is shared across methods, like the paper's offline parameters).
-  const bool needs_model = spec.kind == MethodKind::kPrecRecCorr ||
-                           spec.kind == MethodKind::kAggressive ||
-                           spec.kind == MethodKind::kElastic;
-  if (needs_model) {
-    FUSER_RETURN_IF_ERROR(EnsureModel());
+  const FusionMethod* method = MethodRegistry::Global().Find(spec.kind);
+  if (method == nullptr) {
+    return Status::Unimplemented("method kind not registered");
   }
+  context->dataset = dataset_;
+  context->options = &options_;
+  context->quality = &quality_;
+  context->num_threads =
+      method->supports_threads() ? ResolveNumThreads(options_.num_threads) : 1;
+  // Shared inputs are built outside the timed section (they are reused
+  // across methods, like the paper's offline parameters).
+  if (method->needs_model()) {
+    FUSER_RETURN_IF_ERROR(EnsureModel());
+    context->model = &*model_;
+  }
+  if (method->uses_pattern_pipeline()) {
+    FUSER_RETURN_IF_ERROR(EnsureGrouping());
+    context->grouping = &*grouping_;
+  }
+  return method;
+}
+
+StatusOr<FusionRun> FusionEngine::Run(const MethodSpec& spec) {
+  MethodContext context;
+  FUSER_ASSIGN_OR_RETURN(const FusionMethod* method,
+                         ResolveAndPrepareContext(spec, &context));
+  FUSER_RETURN_IF_ERROR(method->Prepare(context));
 
   FusionRun run;
   run.spec = spec;
-  run.threshold = options_.decision_threshold;
+  run.threshold = method->DefaultThreshold(spec, options_);
 
   WallTimer timer;
-  switch (spec.kind) {
-    case MethodKind::kUnion: {
-      UnionKOptions union_options;
-      union_options.percent = spec.union_percent;
-      union_options.use_scopes = options_.model.use_scopes;
-      FUSER_ASSIGN_OR_RETURN(run.scores,
-                             UnionKScores(*dataset_, union_options));
-      run.threshold = UnionKThreshold(spec.union_percent);
-      break;
-    }
-    case MethodKind::kThreeEstimates: {
-      FUSER_ASSIGN_OR_RETURN(
-          run.scores, ThreeEstimatesScores(*dataset_,
-                                           options_.three_estimates));
-      break;
-    }
-    case MethodKind::kCosine: {
-      FUSER_ASSIGN_OR_RETURN(run.scores,
-                             CosineScores(*dataset_, options_.cosine));
-      break;
-    }
-    case MethodKind::kLtm: {
-      FUSER_ASSIGN_OR_RETURN(run.scores, LtmScores(*dataset_, options_.ltm));
-      break;
-    }
-    case MethodKind::kPrecRec: {
-      PrecRecOptions precrec_options;
-      precrec_options.alpha = options_.model.alpha;
-      precrec_options.use_scopes = options_.model.use_scopes;
-      FUSER_ASSIGN_OR_RETURN(
-          run.scores, PrecRecScores(*dataset_, quality_, precrec_options));
-      break;
-    }
-    case MethodKind::kPrecRecCorr: {
-      FUSER_ASSIGN_OR_RETURN(
-          run.scores, PrecRecCorrScores(*dataset_, *model_, options_.corr));
-      break;
-    }
-    case MethodKind::kAggressive: {
-      FUSER_ASSIGN_OR_RETURN(run.scores,
-                             AggressiveScores(*dataset_, *model_));
-      break;
-    }
-    case MethodKind::kElastic: {
-      ElasticOptions elastic_options;
-      elastic_options.level = spec.elastic_level;
-      elastic_options.num_threads = options_.num_threads;
-      FUSER_ASSIGN_OR_RETURN(
-          run.scores, ElasticScores(*dataset_, *model_, elastic_options));
-      break;
-    }
-  }
+  FUSER_ASSIGN_OR_RETURN(run.scores, method->Score(context, spec));
   run.seconds = timer.ElapsedSeconds();
   return run;
+}
+
+StatusOr<std::vector<FusionRun>> FusionEngine::RunAll(
+    const std::vector<MethodSpec>& specs) {
+  if (!prepared_) {
+    return Status::FailedPrecondition("call Prepare before Run");
+  }
+  // Resolve every spec up front so a bad spec late in the lineup fails
+  // before any scoring work happens.
+  for (const MethodSpec& spec : specs) {
+    if (MethodRegistry::Global().Find(spec.kind) == nullptr) {
+      return Status::Unimplemented("method kind not registered");
+    }
+  }
+  std::vector<FusionRun> runs;
+  runs.reserve(specs.size());
+  for (const MethodSpec& spec : specs) {
+    StatusOr<FusionRun> run = Run(spec);
+    if (!run.ok()) {
+      // Name the failing method: with a long lineup the caller cannot tell
+      // which spec died from the bare status.
+      return Status(run.status().code(),
+                    spec.Name() + ": " + run.status().message());
+    }
+    runs.push_back(std::move(run).value());
+  }
+  return runs;
 }
 
 StatusOr<EvalSummary> FusionEngine::Evaluate(

@@ -10,8 +10,12 @@
 //   auto eval = engine.Evaluate(*run, dataset.labeled_mask());
 //
 // The engine estimates source quality and the correlation model from the
-// training mask, runs any of the implemented fusion methods, and evaluates
-// decisions and ranking quality against the gold standard.
+// training mask, resolves methods through the MethodRegistry (see
+// core/fusion_method.h), and evaluates decisions and ranking quality
+// against the gold standard. Shared inputs — the correlation model and the
+// distinct-pattern grouping — are built lazily, once, and reused by every
+// method that declares a need for them, so RunAll scores a whole method
+// lineup over a single pass of the shared work.
 #ifndef FUSER_CORE_ENGINE_H_
 #define FUSER_CORE_ENGINE_H_
 
@@ -19,63 +23,26 @@
 #include <string>
 #include <vector>
 
-#include "baselines/cosine.h"
-#include "baselines/ltm.h"
-#include "baselines/three_estimates.h"
-#include "baselines/union_k.h"
 #include "common/bitset.h"
 #include "common/status.h"
 #include "core/correlation_model.h"
-#include "core/elastic.h"
-#include "core/precrec.h"
-#include "core/precrec_corr.h"
+#include "core/fusion_method.h"
+#include "core/pattern_pipeline.h"
 #include "model/dataset.h"
 #include "stats/curves.h"
 #include "stats/metrics.h"
 
 namespace fuser {
 
-enum class MethodKind {
-  kUnion,           // Union-K voting (K = union_percent)
-  kThreeEstimates,  // Galland et al. baseline
-  kCosine,          // Galland et al. baseline
-  kLtm,             // Latent Truth Model (Zhao et al.)
-  kPrecRec,         // Theorem 3.1 (independence)
-  kPrecRecCorr,     // Theorem 4.2 (exact)
-  kAggressive,      // Definition 4.5
-  kElastic,         // Algorithm 1 at elastic_level
-};
-
-struct MethodSpec {
-  MethodKind kind = MethodKind::kPrecRecCorr;
-  double union_percent = 50.0;
-  int elastic_level = 3;
-
-  /// Canonical name, e.g. "union-25", "precrec", "elastic-3".
-  std::string Name() const;
-};
-
-/// Parses names like "union-25", "majority", "3estimates", "cosine", "ltm",
-/// "precrec", "precrec-corr", "aggressive", "elastic-2".
-StatusOr<MethodSpec> ParseMethodSpec(const std::string& name);
-
-struct EngineOptions {
-  ModelOptions model;
-  /// Accept a triple when score >= decision_threshold (paper: 0.5).
-  double decision_threshold = 0.5;
-  size_t num_threads = 1;
-  ThreeEstimatesOptions three_estimates;
-  CosineOptions cosine;
-  LtmOptions ltm;
-  PrecRecCorrOptions corr;
-};
-
 /// Output of one method execution.
 struct FusionRun {
   MethodSpec spec;
   std::vector<double> scores;  // per TripleId, in [0, 1]
   double threshold = 0.5;      // decision threshold used for this method
-  double seconds = 0.0;        // scoring wall time (excludes Prepare)
+  /// Scoring wall time. Excludes engine Prepare and the shared inputs
+  /// (correlation model, pattern grouping), which are built once and
+  /// reused across methods like the paper's offline parameters.
+  double seconds = 0.0;
 };
 
 /// Decision and ranking quality of a run on an evaluation set.
@@ -95,12 +62,19 @@ class FusionEngine {
   FusionEngine(const Dataset* dataset, EngineOptions options);
 
   /// Estimates source quality from `train_mask` (labeled triples). Must be
-  /// called before Run. The correlation model is built lazily on the first
-  /// correlated-method Run.
+  /// called before Run. The correlation model and the pattern grouping are
+  /// built lazily on the first Run that needs them.
   Status Prepare(const DynamicBitset& train_mask);
 
   /// Runs one method over the full dataset.
   StatusOr<FusionRun> Run(const MethodSpec& spec);
+
+  /// Runs every spec over the full dataset, sharing the correlation model
+  /// and the pattern grouping across methods (the paper's many-methods
+  /// workload, Figs. 4/6/7). Scores are identical to per-spec Run calls;
+  /// the shared inputs are built at most once. Fails before any scoring
+  /// when a spec does not resolve.
+  StatusOr<std::vector<FusionRun>> RunAll(const std::vector<MethodSpec>& specs);
 
   /// Evaluates decisions (threshold) and ranking (curves) on `eval_mask`.
   StatusOr<EvalSummary> Evaluate(const FusionRun& run,
@@ -110,8 +84,15 @@ class FusionEngine {
   StatusOr<EvalSummary> RunAndEvaluate(const MethodSpec& spec,
                                        const DynamicBitset& eval_mask);
 
-  /// The correlation model (builds it if not yet built).
+  /// The correlation model (builds it if not yet built). The pointer is
+  /// owned by the engine and invalidated by the next Prepare call (which
+  /// destroys and lazily rebuilds the model) and by engine destruction.
   StatusOr<const CorrelationModel*> GetModel();
+
+  /// The distinct-pattern grouping (builds model and grouping if needed).
+  /// Same lifetime rule as GetModel: the next Prepare call invalidates the
+  /// pointer; do not cache it across Prepare boundaries.
+  StatusOr<const PatternGrouping*> GetPatternGrouping();
 
   /// Per-source quality estimated by Prepare.
   const std::vector<SourceQuality>& source_quality() const {
@@ -120,8 +101,17 @@ class FusionEngine {
 
   const EngineOptions& options() const { return options_; }
 
+  /// How many times the pattern grouping has been built (tests assert that
+  /// RunAll shares one grouping across methods).
+  size_t pattern_grouping_builds() const { return grouping_builds_; }
+
  private:
   Status EnsureModel();
+  Status EnsureGrouping();
+  /// Resolves `spec` through the registry and assembles the context with
+  /// every shared input the method declares (model, pattern grouping).
+  StatusOr<const FusionMethod*> ResolveAndPrepareContext(
+      const MethodSpec& spec, MethodContext* context);
 
   const Dataset* dataset_;
   EngineOptions options_;
@@ -129,6 +119,8 @@ class FusionEngine {
   DynamicBitset train_mask_;
   std::vector<SourceQuality> quality_;
   std::optional<CorrelationModel> model_;
+  std::optional<PatternGrouping> grouping_;
+  size_t grouping_builds_ = 0;
 };
 
 }  // namespace fuser

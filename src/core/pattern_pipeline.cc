@@ -1,0 +1,150 @@
+#include "core/pattern_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/math_util.h"
+#include "common/thread_pool.h"
+
+namespace fuser {
+
+StatusOr<PatternGrouping> BuildPatternGrouping(const Dataset& dataset,
+                                               const CorrelationModel& model) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  const size_t num_clusters = model.clustering.clusters.size();
+  if (model.cluster_stats.size() != num_clusters) {
+    return Status::InvalidArgument("model cluster_stats/clusters mismatch");
+  }
+  const size_t m = dataset.num_triples();
+
+  PatternGrouping grouping;
+  grouping.num_triples = m;
+  grouping.dataset = &dataset;
+  grouping.model_fingerprint = ModelGroupingFingerprint(model);
+  grouping.distinct.resize(num_clusters);
+  grouping.pattern_of.assign(num_clusters, std::vector<size_t>(m, 0));
+  for (size_t c = 0; c < num_clusters; ++c) {
+    std::unordered_map<PatternKey, size_t, PatternKeyHash> index;
+    for (TripleId t = 0; t < m; ++t) {
+      ClusterObservation obs = GetClusterObservation(dataset, model, c, t);
+      PatternKey key{obs.providers, obs.in_scope & ~obs.providers};
+      auto [it, inserted] = index.emplace(key, grouping.distinct[c].size());
+      if (inserted) grouping.distinct[c].push_back(key);
+      grouping.pattern_of[c][t] = it->second;
+    }
+  }
+  return grouping;
+}
+
+uint64_t ModelGroupingFingerprint(const CorrelationModel& model) {
+  // splitmix-style running hash over the scope flag and the exact cluster
+  // memberships — everything GetClusterObservation (and hence the
+  // grouping) depends on besides the dataset itself.
+  uint64_t h = model.use_scopes ? 0x9E3779B97F4A7C15ULL : 0xBF58476D1CE4E5B9ULL;
+  for (const std::vector<SourceId>& cluster : model.clustering.clusters) {
+    h += cluster.size() + 0x94D049BB133111EBULL;
+    for (SourceId s : cluster) {
+      h ^= (h >> 30);
+      h = (h + s) * 0xFF51AFD7ED558CCDULL;
+    }
+  }
+  return h;
+}
+
+StatusOr<const PatternGrouping*> GetOrBuildGrouping(
+    const Dataset& dataset, const CorrelationModel& model,
+    const PatternGrouping* provided, PatternGrouping* local) {
+  if (provided == nullptr) {
+    FUSER_ASSIGN_OR_RETURN(*local, BuildPatternGrouping(dataset, model));
+    return static_cast<const PatternGrouping*>(local);
+  }
+  if (provided->dataset != &dataset ||
+      provided->num_triples != dataset.num_triples() ||
+      provided->model_fingerprint != ModelGroupingFingerprint(model)) {
+    return Status::InvalidArgument(
+        "pattern grouping does not match dataset/model");
+  }
+  return provided;
+}
+
+StatusOr<std::vector<std::vector<PatternLikelihood>>> ScorePatterns(
+    const PatternGrouping& grouping, size_t num_threads,
+    const PatternScorer& scorer) {
+  const size_t num_clusters = grouping.num_clusters();
+  std::vector<std::vector<PatternLikelihood>> likelihood(num_clusters);
+  // Flatten (cluster, pattern) pairs into one work list so small clusters
+  // do not serialize behind large ones.
+  std::vector<std::pair<size_t, size_t>> work;
+  work.reserve(grouping.TotalDistinct());
+  for (size_t c = 0; c < num_clusters; ++c) {
+    likelihood[c].assign(grouping.distinct[c].size(), PatternLikelihood{});
+    for (size_t i = 0; i < grouping.distinct[c].size(); ++i) {
+      work.emplace_back(c, i);
+    }
+  }
+
+  Status first_error;
+  std::mutex error_mu;
+  ParallelFor(work.size(), num_threads, [&](size_t w) {
+    const auto& [c, i] = work[w];
+    double given_true = 0.0;
+    double given_false = 0.0;
+    Status s =
+        scorer(c, grouping.distinct[c][i], &given_true, &given_false);
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = s;
+      return;
+    }
+    likelihood[c][i].given_true = std::max(given_true, 0.0);
+    likelihood[c][i].given_false = std::max(given_false, 0.0);
+  });
+  if (!first_error.ok()) {
+    return first_error;
+  }
+  return likelihood;
+}
+
+std::vector<double> CombinePatternScores(
+    const PatternGrouping& grouping,
+    const std::vector<std::vector<PatternLikelihood>>& likelihood,
+    double alpha) {
+  const size_t num_clusters = grouping.num_clusters();
+  std::vector<double> scores(grouping.num_triples);
+  for (TripleId t = 0; t < grouping.num_triples; ++t) {
+    double log_num = 0.0;
+    double log_den = 0.0;
+    bool num_zero = false;
+    bool den_zero = false;
+    for (size_t c = 0; c < num_clusters; ++c) {
+      const PatternLikelihood& like = likelihood[c][grouping.pattern_of[c][t]];
+      if (like.given_true <= 0.0) {
+        num_zero = true;
+      } else {
+        log_num += std::log(like.given_true);
+      }
+      if (like.given_false <= 0.0) {
+        den_zero = true;
+      } else {
+        log_den += std::log(like.given_false);
+      }
+    }
+    if (num_zero && den_zero) {
+      scores[t] = alpha;  // observation impossible either way
+    } else if (num_zero) {
+      scores[t] = 0.0;
+    } else if (den_zero) {
+      scores[t] = 1.0;
+    } else {
+      scores[t] = PosteriorFromLogMu(log_num - log_den, alpha);
+    }
+  }
+  return scores;
+}
+
+}  // namespace fuser

@@ -1,0 +1,136 @@
+// Shared distinct-pattern scoring pipeline for pattern-based methods.
+//
+// PrecRecCorr (Theorem 4.2) and Elastic (Algorithm 1) both score a triple
+// from its per-cluster observation pattern: which cluster members provide
+// it and which in-scope members stay silent. Many triples share a pattern,
+// so both methods (a) group triples by their distinct (providers,
+// non-providers) pattern per cluster, (b) score each distinct pattern once
+// — in parallel, patterns are independent — and (c) combine the per-cluster
+// likelihood pairs into a per-triple posterior (clusters are mutually
+// independent, so likelihoods multiply).
+//
+// This file factors that machinery out so every pattern-based method reuses
+// one grouping: the engine builds a PatternGrouping once per prepared model
+// and hands it to each method, which is what makes RunAll (the paper's
+// Fig. 4/6/7 many-methods workload) score all methods over a single pass
+// of the grouping work.
+#ifndef FUSER_CORE_PATTERN_PIPELINE_H_
+#define FUSER_CORE_PATTERN_PIPELINE_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/status.h"
+#include "core/correlation_model.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+/// One distinct per-cluster observation pattern: the cluster members that
+/// provide the triple and the in-scope members that do not.
+struct PatternKey {
+  Mask providers = 0;
+  Mask nonproviders = 0;
+
+  bool operator==(const PatternKey& other) const {
+    return providers == other.providers && nonproviders == other.nonproviders;
+  }
+};
+
+struct PatternKeyHash {
+  size_t operator()(const PatternKey& key) const {
+    // splitmix-style mix of the two 64-bit masks.
+    uint64_t h = key.providers * 0x9E3779B97F4A7C15ULL;
+    h ^= (h >> 30);
+    h += key.nonproviders * 0xBF58476D1CE4E5B9ULL;
+    h ^= (h >> 27);
+    return static_cast<size_t>(h * 0x94D049BB133111EBULL);
+  }
+};
+
+/// Triples grouped by their distinct observation pattern, per cluster.
+struct PatternGrouping {
+  size_t num_triples = 0;
+  /// Identity of the dataset the grouping was built from (never
+  /// dereferenced — compared only, so a stale pointer cannot be misused).
+  const Dataset* dataset = nullptr;
+  /// Fingerprint of the clustering + scope structure the grouping was
+  /// built from (see ModelGroupingFingerprint); lets GetOrBuildGrouping
+  /// reject a grouping that belongs to a different model.
+  uint64_t model_fingerprint = 0;
+  /// distinct[c] lists every pattern of cluster c exactly once.
+  std::vector<std::vector<PatternKey>> distinct;
+  /// pattern_of[c][t] indexes triple t's pattern within distinct[c].
+  std::vector<std::vector<size_t>> pattern_of;
+
+  size_t num_clusters() const { return distinct.size(); }
+
+  /// Total number of distinct (cluster, pattern) pairs — the unit of
+  /// scoring work.
+  size_t TotalDistinct() const {
+    size_t total = 0;
+    for (const auto& d : distinct) total += d.size();
+    return total;
+  }
+};
+
+/// Groups every triple of `dataset` by its per-cluster observation pattern.
+/// O(num_clusters * num_triples); the result depends only on the dataset
+/// and the model's clustering/scopes, so it is shared across methods.
+StatusOr<PatternGrouping> BuildPatternGrouping(const Dataset& dataset,
+                                               const CorrelationModel& model);
+
+/// Fingerprint of the parts of `model` the grouping depends on (cluster
+/// memberships and the scope setting). Groupings carry the fingerprint of
+/// the model they were built from.
+uint64_t ModelGroupingFingerprint(const CorrelationModel& model);
+
+/// Common method preamble: returns `provided` after validating its triple
+/// count and model fingerprint, or — when `provided` is nullptr — builds
+/// the grouping into `*local` and returns that. Callers own `*local` only
+/// so the result can outlive this call. A non-null `provided` must come
+/// from BuildPatternGrouping over this same dataset and model (the
+/// engine's cache does); a grouping from a different clustering or scope
+/// setting is rejected with InvalidArgument.
+StatusOr<const PatternGrouping*> GetOrBuildGrouping(
+    const Dataset& dataset, const CorrelationModel& model,
+    const PatternGrouping* provided, PatternGrouping* local);
+
+/// Per-pattern likelihood pair: Pr(pattern | triple true) and
+/// Pr(pattern | triple false) — or a method's approximation thereof.
+/// ScorePatterns clamps both at 0 (inconsistent parameter sets can make
+/// alternating sums slightly negative).
+struct PatternLikelihood {
+  double given_true = 1.0;
+  double given_false = 1.0;
+};
+
+/// Computes the likelihood pair of one distinct pattern of one cluster.
+/// Must be safe to call concurrently for distinct patterns.
+using PatternScorer =
+    std::function<Status(size_t cluster, const PatternKey& key,
+                         double* given_true, double* given_false)>;
+
+/// Scores every distinct pattern of every cluster exactly once, running
+/// `scorer` in parallel over the flattened (cluster, pattern) work list.
+/// Returns likelihoods parallel to grouping.distinct; the first scorer
+/// error aborts the whole computation.
+StatusOr<std::vector<std::vector<PatternLikelihood>>> ScorePatterns(
+    const PatternGrouping& grouping, size_t num_threads,
+    const PatternScorer& scorer);
+
+/// Combines per-cluster pattern likelihoods into per-triple posteriors:
+/// log-likelihoods add across clusters and the posterior follows from the
+/// prior `alpha`. Zero likelihoods short-circuit (impossible under one
+/// hypothesis forces the posterior to 0/1; impossible under both falls
+/// back to the prior).
+std::vector<double> CombinePatternScores(
+    const PatternGrouping& grouping,
+    const std::vector<std::vector<PatternLikelihood>>& likelihood,
+    double alpha);
+
+}  // namespace fuser
+
+#endif  // FUSER_CORE_PATTERN_PIPELINE_H_

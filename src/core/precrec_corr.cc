@@ -1,35 +1,12 @@
 #include "core/precrec_corr.h"
 
 #include <cmath>
-#include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/math_util.h"
-#include "common/thread_pool.h"
 
 namespace fuser {
-
-namespace {
-
-struct PairHash {
-  size_t operator()(const std::pair<Mask, Mask>& p) const {
-    uint64_t h = p.first * 0x9E3779B97F4A7C15ULL;
-    h ^= (h >> 30);
-    h += p.second * 0xBF58476D1CE4E5B9ULL;
-    h ^= (h >> 27);
-    return static_cast<size_t>(h * 0x94D049BB133111EBULL);
-  }
-};
-
-/// Per-cluster likelihood pair, clamped to be non-negative (inconsistent
-/// parameter sets can make the alternating sums slightly negative).
-struct Likelihood {
-  double given_true = 1.0;
-  double given_false = 1.0;
-};
-
-}  // namespace
 
 Status TermSummationLikelihood(const JointStatsProvider& stats,
                                Mask providers, Mask nonproviders,
@@ -53,80 +30,54 @@ Status TermSummationLikelihood(const JointStatsProvider& stats,
 
 StatusOr<std::vector<double>> PrecRecCorrScores(
     const Dataset& dataset, const CorrelationModel& model,
-    const PrecRecCorrOptions& options) {
+    const PrecRecCorrOptions& options, const PatternGrouping* grouping) {
   if (!dataset.finalized()) {
     return Status::FailedPrecondition("dataset not finalized");
   }
-  const size_t num_clusters = model.clustering.clusters.size();
-  if (model.cluster_stats.size() != num_clusters) {
+  if (model.cluster_stats.size() != model.clustering.clusters.size()) {
     return Status::InvalidArgument("model cluster_stats/clusters mismatch");
   }
+  PatternGrouping local;
+  FUSER_ASSIGN_OR_RETURN(grouping,
+                         GetOrBuildGrouping(dataset, model, grouping, &local));
+  const size_t num_clusters = model.clustering.clusters.size();
 
-  // Gather the distinct (P, N) observation patterns of every cluster.
-  const size_t m = dataset.num_triples();
-  std::vector<std::vector<std::pair<Mask, Mask>>> triple_patterns(
-      num_clusters);
-  std::vector<std::unordered_map<std::pair<Mask, Mask>, size_t, PairHash>>
-      pattern_index(num_clusters);
-  std::vector<std::vector<std::pair<Mask, Mask>>> distinct(num_clusters);
-  // pattern_of[c][t] = index into distinct[c].
-  std::vector<std::vector<size_t>> pattern_of(
-      num_clusters, std::vector<size_t>(m, 0));
+  // Pick the evaluation strategy per cluster, once.
+  std::vector<char> use_calibrated(num_clusters, 0);
+  std::vector<char> use_direct(num_clusters, 0);
   for (size_t c = 0; c < num_clusters; ++c) {
-    for (TripleId t = 0; t < m; ++t) {
-      ClusterObservation obs = GetClusterObservation(dataset, model, c, t);
-      Mask nonprov = obs.in_scope & ~obs.providers;
-      auto key = std::make_pair(obs.providers, nonprov);
-      auto [it, inserted] =
-          pattern_index[c].emplace(key, distinct[c].size());
-      if (inserted) {
-        distinct[c].push_back(key);
-      }
-      pattern_of[c][t] = it->second;
-    }
+    const JointStatsProvider& stats = *model.cluster_stats[c];
+    use_calibrated[c] = stats.SupportsCalibratedLikelihood() &&
+                        options.calibrated_likelihood &&
+                        !options.force_term_summation;
+    use_direct[c] =
+        stats.SupportsExactLikelihood() && !options.force_term_summation;
   }
 
   // Score each distinct pattern once (parallel across patterns).
-  std::vector<std::vector<Likelihood>> pattern_likelihood(num_clusters);
-  for (size_t c = 0; c < num_clusters; ++c) {
+  auto scorer = [&](size_t c, const PatternKey& key, double* given_true,
+                    double* given_false) -> Status {
     const JointStatsProvider& stats = *model.cluster_stats[c];
-    const bool calibrated = stats.SupportsCalibratedLikelihood() &&
-                            options.calibrated_likelihood &&
-                            !options.force_term_summation;
-    const bool direct =
-        stats.SupportsExactLikelihood() && !options.force_term_summation;
-    pattern_likelihood[c].assign(distinct[c].size(), Likelihood{});
-    Status first_error;
-    std::mutex error_mu;
-    ParallelFor(
-        distinct[c].size(), options.num_threads, [&](size_t i) {
-          const auto& [prov, nonprov] = distinct[c][i];
-          double pt = 0.0;
-          double pf = 0.0;
-          Status s;
-          if (calibrated) {
-            s = stats.CalibratedPatternLikelihood(prov, nonprov, &pt, &pf);
-          } else if (direct) {
-            s = stats.ExactPatternLikelihood(prov, nonprov, &pt, &pf);
-          } else if (PopCount(nonprov) > options.max_exact_nonproviders) {
-            s = Status::FailedPrecondition(
-                "too many non-providers for term summation; raise "
-                "max_exact_nonproviders or use the elastic approximation");
-          } else {
-            s = TermSummationLikelihood(stats, prov, nonprov, &pt, &pf);
-          }
-          if (!s.ok()) {
-            std::lock_guard<std::mutex> lock(error_mu);
-            if (first_error.ok()) first_error = s;
-            return;
-          }
-          pattern_likelihood[c][i].given_true = std::max(pt, 0.0);
-          pattern_likelihood[c][i].given_false = std::max(pf, 0.0);
-        });
-    if (!first_error.ok()) {
-      return first_error;
+    if (use_calibrated[c]) {
+      return stats.CalibratedPatternLikelihood(key.providers,
+                                               key.nonproviders, given_true,
+                                               given_false);
     }
-  }
+    if (use_direct[c]) {
+      return stats.ExactPatternLikelihood(key.providers, key.nonproviders,
+                                          given_true, given_false);
+    }
+    if (PopCount(key.nonproviders) > options.max_exact_nonproviders) {
+      return Status::FailedPrecondition(
+          "too many non-providers for term summation; raise "
+          "max_exact_nonproviders or use the elastic approximation");
+    }
+    return TermSummationLikelihood(stats, key.providers, key.nonproviders,
+                                   given_true, given_false);
+  };
+  FUSER_ASSIGN_OR_RETURN(
+      std::vector<std::vector<PatternLikelihood>> likelihood,
+      ScorePatterns(*grouping, options.num_threads, scorer));
 
   // Combine across clusters: likelihoods multiply (cluster independence).
   // With calibrated (natural) likelihoods, the prior must be the empirical
@@ -135,43 +86,12 @@ StatusOr<std::vector<double>> PrecRecCorrScores(
   // configured alpha.
   double alpha = model.alpha;
   for (size_t c = 0; c < num_clusters; ++c) {
-    const JointStatsProvider& stats = *model.cluster_stats[c];
-    if (stats.SupportsCalibratedLikelihood() &&
-        options.calibrated_likelihood && !options.force_term_summation) {
-      alpha = stats.EmpiricalPriorTrue();
+    if (use_calibrated[c]) {
+      alpha = model.cluster_stats[c]->EmpiricalPriorTrue();
       break;
     }
   }
-  std::vector<double> scores(m);
-  for (TripleId t = 0; t < m; ++t) {
-    double log_num = 0.0;
-    double log_den = 0.0;
-    bool num_zero = false;
-    bool den_zero = false;
-    for (size_t c = 0; c < num_clusters; ++c) {
-      const Likelihood& like = pattern_likelihood[c][pattern_of[c][t]];
-      if (like.given_true <= 0.0) {
-        num_zero = true;
-      } else {
-        log_num += std::log(like.given_true);
-      }
-      if (like.given_false <= 0.0) {
-        den_zero = true;
-      } else {
-        log_den += std::log(like.given_false);
-      }
-    }
-    if (num_zero && den_zero) {
-      scores[t] = alpha;  // observation impossible either way
-    } else if (num_zero) {
-      scores[t] = 0.0;
-    } else if (den_zero) {
-      scores[t] = 1.0;
-    } else {
-      scores[t] = PosteriorFromLogMu(log_num - log_den, alpha);
-    }
-  }
-  return scores;
+  return CombinePatternScores(*grouping, likelihood, alpha);
 }
 
 }  // namespace fuser

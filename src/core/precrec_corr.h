@@ -26,6 +26,7 @@
 
 #include "common/status.h"
 #include "core/correlation_model.h"
+#include "core/pattern_pipeline.h"
 #include "model/dataset.h"
 
 namespace fuser {
@@ -45,15 +46,20 @@ struct PrecRecCorrOptions {
   /// defaults to calibrated. Ignored when force_term_summation is set or
   /// for explicit (user-supplied) statistics.
   bool calibrated_likelihood = true;
-  /// Worker threads for scoring distinct patterns.
-  size_t num_threads = 1;
+  /// Worker threads for scoring distinct patterns; 0 = one per hardware
+  /// thread.
+  size_t num_threads = 0;
 };
 
 /// Scores every triple with its correctness probability under the full
-/// correlation model.
+/// correlation model. `grouping` optionally supplies a prebuilt pattern
+/// grouping for (dataset, model) — the engine passes its cached one so
+/// many methods share a single grouping pass; with nullptr the grouping is
+/// built locally.
 StatusOr<std::vector<double>> PrecRecCorrScores(
     const Dataset& dataset, const CorrelationModel& model,
-    const PrecRecCorrOptions& options);
+    const PrecRecCorrOptions& options,
+    const PatternGrouping* grouping = nullptr);
 
 /// Computes the per-cluster likelihood pair for observation (P, N) by the
 /// literal inclusion-exclusion sum. Exposed for tests and for the worked
