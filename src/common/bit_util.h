@@ -112,6 +112,16 @@ void ForEachKSubset(Mask set, int k, Fn&& fn) {
 /// (n <= 64); saturates at UINT64_MAX.
 uint64_t BinomialCoefficient(int n, int k);
 
+/// splitmix-style mix of two 64-bit words into one hash value. Shared by
+/// every hasher keyed on a mask pair (pattern keys, joint-stats memos).
+inline uint64_t MixMaskPair(uint64_t a, uint64_t b) {
+  uint64_t h = a * 0x9E3779B97F4A7C15ULL;
+  h ^= (h >> 30);
+  h += b * 0xBF58476D1CE4E5B9ULL;
+  h ^= (h >> 27);
+  return h * 0x94D049BB133111EBULL;
+}
+
 }  // namespace fuser
 
 #endif  // FUSER_COMMON_BIT_UTIL_H_

@@ -19,11 +19,15 @@ using CsvRow = std::vector<std::string>;
 /// Returns InvalidArgument on unterminated quotes.
 StatusOr<CsvRow> ParseCsvLine(const std::string& line, char sep = ',');
 
-/// Escapes and joins a row for writing.
+/// Escapes and joins a row for writing. Quotes fields containing the
+/// separator, quotes, or newlines, and a leading '#' on the first field
+/// (so written rows survive ReadCsvFile's comment skipping).
 std::string FormatCsvLine(const CsvRow& row, char sep = ',');
 
-/// Reads a whole file of CSV rows; skips blank lines and lines starting
-/// with '#'.
+/// Reads a whole file of CSV rows. Skips blank lines and '#' comment lines
+/// between records; a quoted field may span physical lines (embedded
+/// newlines round-trip). Returns InvalidArgument when the file ends inside
+/// an open quote.
 StatusOr<std::vector<CsvRow>> ReadCsvFile(const std::string& path,
                                           char sep = ',');
 

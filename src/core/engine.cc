@@ -1,5 +1,9 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
 #include <utility>
 
 #include "common/logging.h"
@@ -19,6 +23,11 @@ FusionEngine::FusionEngine(const Dataset* dataset, EngineOptions options)
   options_.ltm.use_scopes = options_.model.use_scopes;
 }
 
+FusionEngine::FusionEngine(Dataset* dataset, EngineOptions options)
+    : FusionEngine(static_cast<const Dataset*>(dataset), std::move(options)) {
+  mutable_dataset_ = dataset;
+}
+
 Status FusionEngine::Prepare(const DynamicBitset& train_mask) {
   if (train_mask.size() != dataset_->num_triples()) {
     return Status::InvalidArgument("train_mask size != num_triples");
@@ -29,7 +38,265 @@ Status FusionEngine::Prepare(const DynamicBitset& train_mask) {
                                       options_.model.ToQualityOptions()));
   model_.reset();
   grouping_.reset();
+  dataset_version_ = dataset_->version();
   prepared_ = true;
+  return Status::OK();
+}
+
+Status FusionEngine::CheckDatasetVersion() const {
+  if (dataset_->version() != dataset_version_) {
+    return Status::FailedPrecondition(
+        "dataset changed since Prepare/Update; call Update (streaming) or "
+        "re-Prepare");
+  }
+  return Status::OK();
+}
+
+std::vector<TripleId> FusionEngine::CollectChangedExisting(
+    const DatasetDelta& delta, bool use_scopes) const {
+  const size_t old_m = delta.old_num_triples;
+  std::vector<TripleId> changed;
+  for (const auto& [s, t] : delta.new_provides) {
+    (void)s;
+    if (t < old_m) changed.push_back(t);
+  }
+  if (use_scopes && !delta.scope_gains.empty()) {
+    // A source newly covering a domain flips in_scope for every triple of
+    // that domain. Domains introduced by this batch hold only new triples.
+    std::vector<DomainId> domains;
+    for (const auto& [s, d] : delta.scope_gains) {
+      (void)s;
+      if (d < delta.old_num_domains) domains.push_back(d);
+    }
+    std::sort(domains.begin(), domains.end());
+    domains.erase(std::unique(domains.begin(), domains.end()), domains.end());
+    for (DomainId d : domains) {
+      for (TripleId t : dataset_->triples_in_domain(d)) {
+        if (t < old_m) changed.push_back(t);
+      }
+    }
+  }
+  std::sort(changed.begin(), changed.end());
+  changed.erase(std::unique(changed.begin(), changed.end()), changed.end());
+  return changed;
+}
+
+Status FusionEngine::UpdateClusterStats(
+    const DatasetDelta& delta, const DynamicBitset& old_train,
+    const std::vector<TripleId>& changed_existing) {
+  const size_t old_m = delta.old_num_triples;
+  const bool use_scopes = options_.model.use_scopes;
+  const SourceClustering& clustering = model_->clustering;
+
+  // Label state before the batch (ApplyBatch records the first old label
+  // per triple; emplace keeps it even if a batch relabels twice).
+  std::unordered_map<TripleId, Label> old_labels;
+  for (const auto& [t, label] : delta.label_changes) {
+    old_labels.emplace(t, label);
+  }
+  auto label_before = [&](TripleId t) {
+    auto it = old_labels.find(t);
+    return it != old_labels.end() ? it->second : dataset_->label(t);
+  };
+
+  // Existing triples whose stats contribution may change: structural
+  // changes plus label changes. New triples labeled by this batch are
+  // add-only; both lists are deduped (a batch may relabel a triple twice).
+  std::vector<TripleId> affected = changed_existing;
+  std::vector<TripleId> new_labeled;
+  for (const auto& [t, label] : delta.label_changes) {
+    (void)label;
+    if (t < old_m) {
+      affected.push_back(t);
+    } else {
+      new_labeled.push_back(t);
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  std::sort(new_labeled.begin(), new_labeled.end());
+  new_labeled.erase(std::unique(new_labeled.begin(), new_labeled.end()),
+                    new_labeled.end());
+
+  for (size_t c = 0; c < clustering.clusters.size(); ++c) {
+    const std::vector<SourceId>& cluster = clustering.clusters[c];
+    const Mask full = FullMask(static_cast<int>(cluster.size()));
+
+    // Bits this batch added to cluster-local provider/scope masks; old
+    // masks are the current ones minus these (observations only add bits).
+    std::unordered_map<TripleId, Mask> added_providers;
+    for (const auto& [s, t] : delta.new_provides) {
+      if (t >= old_m) continue;
+      if (clustering.cluster_of[s] != static_cast<int>(c)) continue;
+      added_providers[t] =
+          WithBit(added_providers[t], clustering.index_in_cluster[s]);
+    }
+    std::unordered_map<DomainId, Mask> gained_scope;
+    if (use_scopes) {
+      for (const auto& [s, d] : delta.scope_gains) {
+        if (clustering.cluster_of[s] != static_cast<int>(c)) continue;
+        gained_scope[d] = WithBit(gained_scope[d],
+                                  clustering.index_in_cluster[s]);
+      }
+    }
+
+    // Cluster-local (providers, scope) masks as EmpiricalJointStats counts
+    // them: provider bit when the source provides t, scope bit when it is
+    // in scope (all bits when scopes are disabled).
+    auto observation = [&](TripleId t) {
+      Mask providers = 0;
+      Mask scope = use_scopes ? Mask{0} : full;
+      for (size_t i = 0; i < cluster.size(); ++i) {
+        SourceId s = cluster[i];
+        if (dataset_->provides(s, t)) {
+          providers = WithBit(providers, static_cast<int>(i));
+        }
+        if (use_scopes && dataset_->in_scope(s, t)) {
+          scope = WithBit(scope, static_cast<int>(i));
+        }
+      }
+      return std::make_pair(providers, scope);
+    };
+
+    std::vector<JointPatternDelta> deltas;
+    for (TripleId t : affected) {
+      Mask added = 0;
+      if (auto it = added_providers.find(t); it != added_providers.end()) {
+        added = it->second;
+      }
+      Mask gained = 0;
+      if (use_scopes) {
+        if (auto it = gained_scope.find(dataset_->domain(t));
+            it != gained_scope.end()) {
+          gained = it->second;
+        }
+      }
+      const bool label_changed = old_labels.count(t) != 0;
+      if (added == 0 && gained == 0 && !label_changed) {
+        // Untouched in this cluster: the -1/+1 pair would cancel exactly,
+        // and skipping it keeps the cluster's memo caches warm.
+        continue;
+      }
+      const auto [providers, scope] = observation(t);
+      const Label before = label_before(t);
+      if (before != Label::kUnknown && old_train.Test(t)) {
+        deltas.push_back({providers & ~added,
+                          use_scopes ? (scope & ~gained) : full,
+                          before == Label::kTrue, -1});
+      }
+      const Label now = dataset_->label(t);
+      if (now != Label::kUnknown && train_mask_.Test(t)) {
+        deltas.push_back({providers, scope, now == Label::kTrue, +1});
+      }
+    }
+    // Triples created and labeled by the same batch enter the training set
+    // with their current masks (nothing to remove).
+    for (TripleId t : new_labeled) {
+      const Label now = dataset_->label(t);
+      if (now == Label::kUnknown || !train_mask_.Test(t)) continue;
+      const auto [providers, scope] = observation(t);
+      deltas.push_back({providers, scope, now == Label::kTrue, +1});
+    }
+    if (deltas.empty()) continue;
+    FUSER_RETURN_IF_ERROR(
+        model_->cluster_stats[c]->ApplyPatternDeltas(deltas));
+  }
+  return Status::OK();
+}
+
+Status FusionEngine::Update(const ObservationBatch& batch) {
+  if (mutable_dataset_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Update requires an engine constructed with a mutable Dataset*");
+  }
+  if (!prepared_) {
+    return Status::FailedPrecondition("call Prepare before Update");
+  }
+  FUSER_RETURN_IF_ERROR(CheckDatasetVersion());
+
+  DatasetDelta delta;
+  FUSER_RETURN_IF_ERROR(mutable_dataset_->ApplyBatch(batch, &delta));
+  dataset_version_ = dataset_->version();
+  ++updates_applied_;
+
+  const size_t old_m = delta.old_num_triples;
+  const bool use_scopes = options_.model.use_scopes;
+
+  // The training set grows with the stream: newly labeled triples join it
+  // (previously labeled triples keep their train/test assignment).
+  DynamicBitset old_train = train_mask_;
+  train_mask_.Resize(dataset_->num_triples());
+  for (const auto& [t, old_label] : delta.label_changes) {
+    if (old_label == Label::kUnknown) train_mask_.Set(t);
+  }
+
+  // Source quality is one cheap bitset pass; recomputing it is exact.
+  FUSER_ASSIGN_OR_RETURN(
+      quality_, EstimateSourceQuality(*dataset_, train_mask_,
+                                      options_.model.ToQualityOptions()));
+
+  if (!model_.has_value()) {
+    // Shared inputs not built yet: the next Run builds them from the
+    // updated dataset.
+    grouping_.reset();
+    return Status::OK();
+  }
+
+  bool training_changed = !delta.label_changes.empty();
+  if (!training_changed) {
+    for (const auto& [s, t] : delta.new_provides) {
+      (void)s;
+      if (t < old_m && old_train.Test(t)) {
+        training_changed = true;
+        break;
+      }
+    }
+  }
+  if (!training_changed && use_scopes && !delta.scope_gains.empty()) {
+    training_changed = true;  // scope denominators shift with coverage
+  }
+
+  if (!delta.new_sources.empty() ||
+      (options_.model.enable_clustering && training_changed)) {
+    // No incremental story: new sources change the cluster partition, and
+    // with clustering enabled any training change can re-cluster. The model
+    // and grouping rebuild lazily on the next Run.
+    model_.reset();
+    grouping_.reset();
+    ++full_invalidations_;
+    return Status::OK();
+  }
+
+  model_->source_quality = quality_;
+
+  const std::vector<TripleId> changed_existing =
+      CollectChangedExisting(delta, use_scopes);
+
+  Status stats_status = UpdateClusterStats(delta, old_train, changed_existing);
+  if (stats_status.code() == StatusCode::kUnimplemented) {
+    // Caller-supplied stats without an incremental path: rebuild lazily.
+    model_.reset();
+    grouping_.reset();
+    ++full_invalidations_;
+    return Status::OK();
+  }
+  if (!stats_status.ok()) {
+    // The stats may be partially updated; drop them rather than serve a
+    // corrupt model.
+    model_.reset();
+    grouping_.reset();
+    return stats_status;
+  }
+
+  if (grouping_.has_value()) {
+    Status grouping_status = UpdatePatternGrouping(
+        *dataset_, *model_, changed_existing, &*grouping_);
+    if (!grouping_status.ok()) {
+      grouping_.reset();  // degrade to a lazy rebuild
+      ++full_invalidations_;
+    }
+  }
   return Status::OK();
 }
 
@@ -37,6 +304,7 @@ Status FusionEngine::EnsureModel() {
   if (!prepared_) {
     return Status::FailedPrecondition("call Prepare before Run");
   }
+  FUSER_RETURN_IF_ERROR(CheckDatasetVersion());
   if (model_.has_value()) {
     return Status::OK();
   }
@@ -74,6 +342,7 @@ StatusOr<const FusionMethod*> FusionEngine::ResolveAndPrepareContext(
   if (!prepared_) {
     return Status::FailedPrecondition("call Prepare before Run");
   }
+  FUSER_RETURN_IF_ERROR(CheckDatasetVersion());
   const FusionMethod* method = MethodRegistry::Global().Find(spec.kind);
   if (method == nullptr) {
     return Status::Unimplemented("method kind not registered");
@@ -105,6 +374,7 @@ StatusOr<FusionRun> FusionEngine::Run(const MethodSpec& spec) {
   FusionRun run;
   run.spec = spec;
   run.threshold = method->DefaultThreshold(spec, options_);
+  run.dataset_version = dataset_->version();
 
   WallTimer timer;
   FUSER_ASSIGN_OR_RETURN(run.scores, method->Score(context, spec));
@@ -141,17 +411,32 @@ StatusOr<std::vector<FusionRun>> FusionEngine::RunAll(
 
 StatusOr<EvalSummary> FusionEngine::Evaluate(
     const FusionRun& run, const DynamicBitset& eval_mask) const {
+  if (run.scores.size() != dataset_->num_triples() ||
+      (run.dataset_version != 0 &&
+       run.dataset_version != dataset_->version())) {
+    return Status::InvalidArgument(
+        "run predates a dataset change; re-run the method");
+  }
   EvalSummary summary;
   summary.counts =
       EvaluateDecisions(*dataset_, run.scores, eval_mask, run.threshold);
   summary.precision = summary.counts.Precision();
   summary.recall = summary.counts.Recall();
   summary.f1 = summary.counts.F1();
-  FUSER_ASSIGN_OR_RETURN(RankedCurves curves,
-                         ComputeRankedCurves(*dataset_, run.scores,
-                                             eval_mask));
-  summary.auc_pr = curves.auc_pr;
-  summary.auc_roc = curves.auc_roc;
+  StatusOr<RankedCurves> curves =
+      ComputeRankedCurves(*dataset_, run.scores, eval_mask);
+  if (curves.ok()) {
+    summary.auc_pr = curves->auc_pr;
+    summary.auc_roc = curves->auc_roc;
+  } else if (curves.status().code() == StatusCode::kFailedPrecondition) {
+    // Single-class eval mask: ranked curves are undefined, but the
+    // decision-quality half of the summary still stands.
+    summary.curves_available = false;
+    summary.auc_pr = std::numeric_limits<double>::quiet_NaN();
+    summary.auc_roc = std::numeric_limits<double>::quiet_NaN();
+  } else {
+    return curves.status();
+  }
   summary.seconds = run.seconds;
   return summary;
 }

@@ -39,13 +39,19 @@ struct FusionRun {
   MethodSpec spec;
   std::vector<double> scores;  // per TripleId, in [0, 1]
   double threshold = 0.5;      // decision threshold used for this method
+  /// Dataset::version() at scoring time; Evaluate rejects a run whose
+  /// dataset has since changed (0 = unknown provenance, size-checked only).
+  uint64_t dataset_version = 0;
   /// Scoring wall time. Excludes engine Prepare and the shared inputs
   /// (correlation model, pattern grouping), which are built once and
   /// reused across methods like the paper's offline parameters.
   double seconds = 0.0;
 };
 
-/// Decision and ranking quality of a run on an evaluation set.
+/// Decision and ranking quality of a run on an evaluation set. When the
+/// eval mask is single-class (all true or all false), ranked curves are
+/// undefined: `curves_available` is false and both AUCs are NaN, but the
+/// confusion counts and precision/recall/F1 are still reported.
 struct EvalSummary {
   ConfusionCounts counts;
   double precision = 0.0;
@@ -53,18 +59,49 @@ struct EvalSummary {
   double f1 = 0.0;
   double auc_pr = 0.0;
   double auc_roc = 0.0;
+  bool curves_available = true;
   double seconds = 0.0;
 };
 
 class FusionEngine {
  public:
-  /// `dataset` must outlive the engine and be finalized.
+  /// `dataset` must outlive the engine and be finalized. An engine built
+  /// over a const dataset cannot Update (streaming requires the mutable
+  /// overload below).
   FusionEngine(const Dataset* dataset, EngineOptions options);
+
+  /// Streaming-capable engine: same as above, plus Update(batch) ingests
+  /// micro-batches through this pointer. The dataset must not be mutated
+  /// behind the engine's back (Run detects it via Dataset::version and
+  /// fails).
+  FusionEngine(Dataset* dataset, EngineOptions options);
 
   /// Estimates source quality from `train_mask` (labeled triples). Must be
   /// called before Run. The correlation model and the pattern grouping are
   /// built lazily on the first Run that needs them.
   Status Prepare(const DynamicBitset& train_mask);
+
+  /// Streaming ingestion: applies `batch` to the dataset and incrementally
+  /// maintains every shared input instead of rebuilding it. After any
+  /// sequence of Update calls, Run/RunAll scores are byte-identical to a
+  /// fresh engine prepared on the resulting dataset with train_mask().
+  ///
+  ///  * Triples newly labeled by the batch join the training set; source
+  ///    quality is re-estimated (one cheap bitset pass).
+  ///  * Per-cluster EmpiricalJointStats receive exact pattern-count deltas
+  ///    for the affected training triples (memo/SoS tables updated or
+  ///    rebuilt, whichever is cheaper).
+  ///  * The cached PatternGrouping assigns new triples to existing distinct
+  ///    patterns in O(batch x clusters), appending only genuinely new
+  ///    patterns (scored lazily on the next Run) — it is not rebuilt, see
+  ///    pattern_grouping_builds().
+  ///  * Changes with no incremental story invalidate the affected caches,
+  ///    which rebuild lazily: new sources change the cluster partition, and
+  ///    with enable_clustering any training change can re-cluster (see
+  ///    full_invalidations()).
+  ///
+  /// Requires the mutable constructor and a prior Prepare.
+  Status Update(const ObservationBatch& batch);
 
   /// Runs one method over the full dataset.
   StatusOr<FusionRun> Run(const MethodSpec& spec);
@@ -94,33 +131,59 @@ class FusionEngine {
   /// pointer; do not cache it across Prepare boundaries.
   StatusOr<const PatternGrouping*> GetPatternGrouping();
 
-  /// Per-source quality estimated by Prepare.
+  /// Per-source quality estimated by Prepare (and kept current by Update).
   const std::vector<SourceQuality>& source_quality() const {
     return quality_;
   }
 
+  /// The effective training mask: what Prepare received, extended by every
+  /// triple labeled through Update. A fresh engine prepared on the current
+  /// dataset with this mask reproduces this engine's scores exactly.
+  const DynamicBitset& train_mask() const { return train_mask_; }
+
   const EngineOptions& options() const { return options_; }
 
-  /// How many times the pattern grouping has been built (tests assert that
-  /// RunAll shares one grouping across methods).
+  /// How many times the pattern grouping has been built from scratch
+  /// (tests assert that RunAll shares one grouping across methods and that
+  /// Update maintains it incrementally instead of rebuilding).
   size_t pattern_grouping_builds() const { return grouping_builds_; }
+
+  /// Number of Update calls absorbed, and how many of them invalidated the
+  /// cached model/grouping (lazy full rebuild) instead of updating
+  /// incrementally.
+  size_t updates_applied() const { return updates_applied_; }
+  size_t full_invalidations() const { return full_invalidations_; }
 
  private:
   Status EnsureModel();
   Status EnsureGrouping();
+  /// Out-of-band mutation guard: the dataset's version must match what the
+  /// engine last saw (Prepare or Update).
+  Status CheckDatasetVersion() const;
   /// Resolves `spec` through the registry and assembles the context with
   /// every shared input the method declares (model, pattern grouping).
   StatusOr<const FusionMethod*> ResolveAndPrepareContext(
       const MethodSpec& spec, MethodContext* context);
+  /// Existing triples whose provider or scope masks changed in `delta`.
+  std::vector<TripleId> CollectChangedExisting(const DatasetDelta& delta,
+                                               bool use_scopes) const;
+  /// Folds exact pattern-count deltas into every cluster's joint stats.
+  Status UpdateClusterStats(const DatasetDelta& delta,
+                            const DynamicBitset& old_train,
+                            const std::vector<TripleId>& changed_existing);
 
   const Dataset* dataset_;
+  Dataset* mutable_dataset_ = nullptr;  // non-null iff streaming-capable
   EngineOptions options_;
   bool prepared_ = false;
+  uint64_t dataset_version_ = 0;
   DynamicBitset train_mask_;
   std::vector<SourceQuality> quality_;
   std::optional<CorrelationModel> model_;
   std::optional<PatternGrouping> grouping_;
   size_t grouping_builds_ = 0;
+  size_t updates_applied_ = 0;
+  size_t full_invalidations_ = 0;
 };
 
 }  // namespace fuser

@@ -65,51 +65,144 @@ StatusOr<std::unique_ptr<EmpiricalJointStats>> EmpiricalJointStats::Create(
     ++agg[{prov, scope}];
   });
 
-  auto flatten = [](const std::unordered_map<std::pair<Mask, Mask>, uint32_t,
-                                             MaskPairHash>& agg,
-                    std::vector<Pattern>* out, size_t* total) {
-    out->reserve(agg.size());
-    for (const auto& [key, count] : agg) {
-      out->push_back({key.first, key.second, count});
-      *total += count;
-    }
-  };
-  flatten(agg_true, &stats->true_patterns_, &stats->total_true_);
-  flatten(agg_false, &stats->false_patterns_, &stats->total_false_);
+  auto flatten =
+      [](const std::unordered_map<std::pair<Mask, Mask>, uint32_t,
+                                  MaskPairHash>& agg,
+         std::vector<Pattern>* out,
+         std::unordered_map<std::pair<Mask, Mask>, size_t, MaskPairHash>*
+             index,
+         size_t* total) {
+        out->reserve(agg.size());
+        index->reserve(agg.size());
+        for (const auto& [key, count] : agg) {
+          index->emplace(key, out->size());
+          out->push_back({key.first, key.second, count});
+          *total += count;
+        }
+      };
+  flatten(agg_true, &stats->true_patterns_, &stats->true_index_,
+          &stats->total_true_);
+  flatten(agg_false, &stats->false_patterns_, &stats->false_index_,
+          &stats->total_false_);
 
   // Sum-over-supersets tables for O(1) joint lookups on small clusters.
   if (stats->k_ <= options.sos_table_max_bits) {
-    const size_t size = size_t{1} << stats->k_;
-    stats->sup_true_.assign(size, 0);
-    stats->sup_false_.assign(size, 0);
-    for (const Pattern& p : stats->true_patterns_) {
-      stats->sup_true_[p.providers] += p.count;
-    }
-    for (const Pattern& p : stats->false_patterns_) {
-      stats->sup_false_[p.providers] += p.count;
-    }
-    if (options.use_scopes) {
-      stats->sup_scope_true_.assign(size, 0);
-      for (const Pattern& p : stats->true_patterns_) {
-        stats->sup_scope_true_[p.scope] += p.count;
-      }
-    }
-    auto sos = [&](std::vector<uint32_t>* table) {
-      for (int bit = 0; bit < stats->k_; ++bit) {
-        const Mask bit_mask = Mask{1} << bit;
-        for (Mask m = 0; m < size; ++m) {
-          if (!(m & bit_mask)) {
-            (*table)[m] += (*table)[m | bit_mask];
-          }
-        }
-      }
-    };
-    sos(&stats->sup_true_);
-    sos(&stats->sup_false_);
-    if (options.use_scopes) sos(&stats->sup_scope_true_);
     stats->has_tables_ = true;
+    stats->BuildTables();
   }
   return stats;
+}
+
+void EmpiricalJointStats::BuildTables() {
+  const size_t size = size_t{1} << k_;
+  sup_true_.assign(size, 0);
+  sup_false_.assign(size, 0);
+  for (const Pattern& p : true_patterns_) {
+    sup_true_[p.providers] += p.count;
+  }
+  for (const Pattern& p : false_patterns_) {
+    sup_false_[p.providers] += p.count;
+  }
+  if (options_.use_scopes) {
+    sup_scope_true_.assign(size, 0);
+    for (const Pattern& p : true_patterns_) {
+      sup_scope_true_[p.scope] += p.count;
+    }
+  }
+  auto sos = [&](std::vector<uint32_t>* table) {
+    for (int bit = 0; bit < k_; ++bit) {
+      const Mask bit_mask = Mask{1} << bit;
+      for (Mask m = 0; m < size; ++m) {
+        if (!(m & bit_mask)) {
+          (*table)[m] += (*table)[m | bit_mask];
+        }
+      }
+    }
+  };
+  sos(&sup_true_);
+  sos(&sup_false_);
+  if (options_.use_scopes) sos(&sup_scope_true_);
+}
+
+void EmpiricalJointStats::AddToTables(const Pattern& pattern, bool is_true,
+                                      int count_delta) {
+  // sup[m] sums the counts of patterns whose mask is a superset of m, so a
+  // pattern contributes to exactly the submasks of its own mask.
+  auto add = [count_delta](std::vector<uint32_t>* table, Mask mask) {
+    ForEachSubmask(mask, [&](Mask sub) {
+      (*table)[sub] = static_cast<uint32_t>(
+          static_cast<int64_t>((*table)[sub]) + count_delta);
+    });
+  };
+  if (is_true) {
+    add(&sup_true_, pattern.providers);
+    if (options_.use_scopes) add(&sup_scope_true_, pattern.scope);
+  } else {
+    add(&sup_false_, pattern.providers);
+  }
+}
+
+Status EmpiricalJointStats::ApplyPatternDeltas(
+    const std::vector<JointPatternDelta>& deltas) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Mask full = FullMask(k_);
+  // Masks are validated before any mutation. (Count underflow can only be
+  // detected mid-apply; that path clears the memos and the caller must
+  // discard the provider.)
+  for (const JointPatternDelta& d : deltas) {
+    if ((d.providers & ~full) != 0 || (d.scope & ~full) != 0) {
+      return Status::InvalidArgument("pattern delta mask outside cluster");
+    }
+  }
+  // Decide up front between per-delta submask updates and one table
+  // rebuild: each delta costs 2^|providers| (+ 2^|scope| with scopes) table
+  // touches, a rebuild costs k * 2^k.
+  bool incremental_tables = has_tables_;
+  if (has_tables_) {
+    const uint64_t rebuild_cost = static_cast<uint64_t>(k_) << k_;
+    uint64_t incremental_cost = 0;
+    for (const JointPatternDelta& d : deltas) {
+      incremental_cost += uint64_t{1} << PopCount(d.providers);
+      if (options_.use_scopes && d.is_true) {
+        incremental_cost += uint64_t{1} << PopCount(d.scope);
+      }
+      if (incremental_cost > rebuild_cost) {
+        incremental_tables = false;
+        break;
+      }
+    }
+  }
+  for (const JointPatternDelta& d : deltas) {
+    auto& index = d.is_true ? true_index_ : false_index_;
+    auto& patterns = d.is_true ? true_patterns_ : false_patterns_;
+    auto& total = d.is_true ? total_true_ : total_false_;
+    auto [it, inserted] =
+        index.emplace(std::make_pair(d.providers, d.scope), patterns.size());
+    if (inserted) {
+      patterns.push_back({d.providers, d.scope, 0});
+    }
+    Pattern& pattern = patterns[it->second];
+    const int64_t count =
+        static_cast<int64_t>(pattern.count) + d.count_delta;
+    const int64_t new_total = static_cast<int64_t>(total) + d.count_delta;
+    if (count < 0 || new_total < 0) {
+      // Counts already partially mutated: drop the memos so the provider
+      // cannot serve answers inconsistent with its state.
+      memo_.clear();
+      exact_memo_.clear();
+      calibrated_memo_.clear();
+      return Status::Internal("pattern count underflow in ApplyPatternDeltas");
+    }
+    pattern.count = static_cast<uint32_t>(count);
+    total = static_cast<size_t>(new_total);
+    if (incremental_tables) AddToTables(pattern, d.is_true, d.count_delta);
+  }
+  if (has_tables_ && !incremental_tables) BuildTables();
+  // Every memoized lookup may now be stale.
+  memo_.clear();
+  exact_memo_.clear();
+  calibrated_memo_.clear();
+  return Status::OK();
 }
 
 EmpiricalJointStats::Counts EmpiricalJointStats::ComputeCounts(

@@ -42,6 +42,18 @@ struct JointQuality {
   double fpr = 0.0;
 };
 
+/// One streamed change to the empirical pattern counts of a cluster: the
+/// cluster-local (providers, scope) observation pattern of a training
+/// triple, the class it counts toward, and +1/-1. FusionEngine::Update
+/// translates a DatasetDelta into these (a changed triple contributes a -1
+/// for its old pattern and a +1 for its new one).
+struct JointPatternDelta {
+  Mask providers = 0;
+  Mask scope = 0;
+  bool is_true = false;
+  int count_delta = 0;
+};
+
 /// Interface for joint statistics within one cluster.
 class JointStatsProvider {
  public:
@@ -96,6 +108,15 @@ class JointStatsProvider {
   /// parameterization bakes the empirical class ratio into its q values;
   /// the calibrated form must supply it explicitly).
   virtual double EmpiricalPriorTrue() const { return alpha(); }
+
+  /// Incrementally folds streamed pattern-count changes into the provider.
+  /// After a successful call the provider is byte-identical (for every
+  /// query) to one built from scratch over the updated training set.
+  /// Providers without an incremental path return Unimplemented and the
+  /// caller falls back to a rebuild.
+  virtual Status ApplyPatternDeltas(const std::vector<JointPatternDelta>&) {
+    return Status::Unimplemented("incremental pattern deltas not supported");
+  }
 };
 
 struct JointStatsOptions {
@@ -137,6 +158,8 @@ class EmpiricalJointStats : public JointStatsProvider {
     return (static_cast<double>(total_true_) + 0.5) /
            (static_cast<double>(total_true_ + total_false_) + 1.0);
   }
+  Status ApplyPatternDeltas(
+      const std::vector<JointPatternDelta>& deltas) override;
 
   /// Raw superset counts (diagnostics and tests).
   size_t CountTrueSuperset(Mask subset) const;
@@ -156,10 +179,20 @@ class EmpiricalJointStats : public JointStatsProvider {
     size_t den_true = 0;  // scope-restricted true-count denominator
   };
 
+  struct MaskPairHash {
+    size_t operator()(const std::pair<Mask, Mask>& p) const {
+      return static_cast<size_t>(MixMaskPair(p.first, p.second));
+    }
+  };
+
   EmpiricalJointStats() = default;
 
   Counts ComputeCounts(Mask subset) const;
   const Counts& CachedCounts(Mask subset) const;
+  /// (Re)builds the sum-over-supersets tables from the pattern lists.
+  void BuildTables();
+  /// Adds `count_delta` to the SoS tables for a pattern (submask walk).
+  void AddToTables(const Pattern& pattern, bool is_true, int count_delta);
 
   int k_ = 0;
   JointStatsOptions options_;
@@ -167,23 +200,16 @@ class EmpiricalJointStats : public JointStatsProvider {
   std::vector<Pattern> false_patterns_;
   size_t total_true_ = 0;
   size_t total_false_ = 0;
+  // Position of each distinct (providers, scope) pattern in the vectors
+  // above, for incremental count updates.
+  std::unordered_map<std::pair<Mask, Mask>, size_t, MaskPairHash> true_index_;
+  std::unordered_map<std::pair<Mask, Mask>, size_t, MaskPairHash> false_index_;
 
   // Sum-over-supersets tables (index = mask), built when k_ is small.
   bool has_tables_ = false;
   std::vector<uint32_t> sup_true_;
   std::vector<uint32_t> sup_false_;
   std::vector<uint32_t> sup_scope_true_;  // only populated with scopes
-
-  struct MaskPairHash {
-    size_t operator()(const std::pair<Mask, Mask>& p) const {
-      // splitmix-style mix of the two 64-bit masks.
-      uint64_t h = p.first * 0x9E3779B97F4A7C15ULL;
-      h ^= (h >> 30);
-      h += p.second * 0xBF58476D1CE4E5B9ULL;
-      h ^= (h >> 27);
-      return static_cast<size_t>(h * 0x94D049BB133111EBULL);
-    }
-  };
 
   mutable std::mutex mu_;  // guards the memo maps under parallel scoring
   mutable std::unordered_map<Mask, Counts> memo_;

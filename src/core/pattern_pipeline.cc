@@ -28,8 +28,9 @@ StatusOr<PatternGrouping> BuildPatternGrouping(const Dataset& dataset,
   grouping.model_fingerprint = ModelGroupingFingerprint(model);
   grouping.distinct.resize(num_clusters);
   grouping.pattern_of.assign(num_clusters, std::vector<size_t>(m, 0));
+  grouping.index.resize(num_clusters);
   for (size_t c = 0; c < num_clusters; ++c) {
-    std::unordered_map<PatternKey, size_t, PatternKeyHash> index;
+    auto& index = grouping.index[c];
     for (TripleId t = 0; t < m; ++t) {
       ClusterObservation obs = GetClusterObservation(dataset, model, c, t);
       PatternKey key{obs.providers, obs.in_scope & ~obs.providers};
@@ -39,6 +40,43 @@ StatusOr<PatternGrouping> BuildPatternGrouping(const Dataset& dataset,
     }
   }
   return grouping;
+}
+
+Status UpdatePatternGrouping(const Dataset& dataset,
+                             const CorrelationModel& model,
+                             const std::vector<TripleId>& changed_existing,
+                             PatternGrouping* grouping) {
+  if (grouping == nullptr || grouping->dataset != &dataset ||
+      grouping->num_clusters() != model.clustering.clusters.size() ||
+      grouping->model_fingerprint != ModelGroupingFingerprint(model)) {
+    return Status::InvalidArgument(
+        "pattern grouping does not match dataset/model");
+  }
+  const size_t m = dataset.num_triples();
+  if (grouping->num_triples > m) {
+    return Status::InvalidArgument("pattern grouping ahead of dataset");
+  }
+  const size_t old_m = grouping->num_triples;
+  for (size_t c = 0; c < grouping->num_clusters(); ++c) {
+    auto& index = grouping->index[c];
+    auto& distinct = grouping->distinct[c];
+    auto& pattern_of = grouping->pattern_of[c];
+    pattern_of.resize(m);
+    auto assign = [&](TripleId t) {
+      ClusterObservation obs = GetClusterObservation(dataset, model, c, t);
+      PatternKey key{obs.providers, obs.in_scope & ~obs.providers};
+      auto [it, inserted] = index.emplace(key, distinct.size());
+      if (inserted) distinct.push_back(key);
+      pattern_of[t] = it->second;
+    };
+    for (TripleId t = static_cast<TripleId>(old_m); t < m; ++t) assign(t);
+    for (TripleId t : changed_existing) {
+      if (t >= old_m) continue;  // appended above with current masks
+      assign(t);
+    }
+  }
+  grouping->num_triples = m;
+  return Status::OK();
 }
 
 uint64_t ModelGroupingFingerprint(const CorrelationModel& model) {

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bit_util.h"
@@ -41,12 +42,7 @@ struct PatternKey {
 
 struct PatternKeyHash {
   size_t operator()(const PatternKey& key) const {
-    // splitmix-style mix of the two 64-bit masks.
-    uint64_t h = key.providers * 0x9E3779B97F4A7C15ULL;
-    h ^= (h >> 30);
-    h += key.nonproviders * 0xBF58476D1CE4E5B9ULL;
-    h ^= (h >> 27);
-    return static_cast<size_t>(h * 0x94D049BB133111EBULL);
+    return static_cast<size_t>(MixMaskPair(key.providers, key.nonproviders));
   }
 };
 
@@ -64,6 +60,10 @@ struct PatternGrouping {
   std::vector<std::vector<PatternKey>> distinct;
   /// pattern_of[c][t] indexes triple t's pattern within distinct[c].
   std::vector<std::vector<size_t>> pattern_of;
+  /// index[c] maps a pattern key to its position in distinct[c]; kept after
+  /// the build so UpdatePatternGrouping can assign streamed triples to
+  /// existing patterns in O(1).
+  std::vector<std::unordered_map<PatternKey, size_t, PatternKeyHash>> index;
 
   size_t num_clusters() const { return distinct.size(); }
 
@@ -86,6 +86,22 @@ StatusOr<PatternGrouping> BuildPatternGrouping(const Dataset& dataset,
 /// memberships and the scope setting). Groupings carry the fingerprint of
 /// the model they were built from.
 uint64_t ModelGroupingFingerprint(const CorrelationModel& model);
+
+/// Incrementally maintains `grouping` after a streamed batch: appends the
+/// new triples [grouping->num_triples, dataset.num_triples()) and remaps
+/// the `changed_existing` triples (whose provider/scope masks changed).
+/// Triples joining an existing distinct pattern cost O(1); genuinely new
+/// patterns are appended (and scored lazily by the next Run's
+/// ScorePatterns). Patterns no triple maps to anymore are kept — they are
+/// never combined into a score, so they are harmless, and keeping them
+/// makes the update O(batch x clusters) instead of O(dataset).
+/// `grouping` must have been built over this same dataset and model
+/// (clustering unchanged); otherwise InvalidArgument is returned and the
+/// caller should rebuild.
+Status UpdatePatternGrouping(const Dataset& dataset,
+                             const CorrelationModel& model,
+                             const std::vector<TripleId>& changed_existing,
+                             PatternGrouping* grouping);
 
 /// Common method preamble: returns `provided` after validating its triple
 /// count and model fingerprint, or — when `provided` is nullptr — builds

@@ -91,6 +91,11 @@ Status Dataset::Finalize() {
     });
   }
 
+  domain_triples_.assign(num_domains, {});
+  for (TripleId t = 0; t < m; ++t) {
+    domain_triples_[domains_[t]].push_back(t);
+  }
+
   true_mask_ = DynamicBitset(m);
   labeled_mask_ = DynamicBitset(m);
   for (size_t t = 0; t < m; ++t) {
@@ -101,6 +106,99 @@ Status Dataset::Finalize() {
   }
 
   finalized_ = true;
+  ++version_;
+  return Status::OK();
+}
+
+Status Dataset::ApplyBatch(const ObservationBatch& batch,
+                           DatasetDelta* delta) {
+  FUSER_CHECK(delta != nullptr);
+  if (!finalized_) {
+    return Status::FailedPrecondition(
+        "ApplyBatch before Finalize (use AddTriple/Provide instead)");
+  }
+  *delta = DatasetDelta{};
+  delta->old_num_triples = dict_.size();
+  delta->old_num_sources = source_names_.size();
+  delta->old_num_domains = domain_names_.size();
+
+  // Pass 1: intern sources, domains, and triples; collect the provide list.
+  std::vector<std::pair<SourceId, TripleId>> provides;
+  provides.reserve(batch.observations.size());
+  for (const Observation& obs : batch.observations) {
+    SourceId s;
+    auto it = source_index_.find(obs.source);
+    if (it != source_index_.end()) {
+      s = it->second;
+    } else {
+      s = static_cast<SourceId>(source_names_.size());
+      source_names_.push_back(obs.source);
+      source_index_.emplace(obs.source, s);
+      outputs_.emplace_back();              // resized to full width below
+      source_covers_domain_.emplace_back();
+      delta->new_sources.push_back(s);
+    }
+    TripleId t = dict_.Lookup(obs.triple);
+    if (t == kInvalidTriple) {
+      t = dict_.Intern(obs.triple);
+      labels_.push_back(Label::kUnknown);
+      domains_.push_back(InternDomain(obs.domain));
+      delta->new_triples.push_back(t);
+    }
+    // An existing triple keeps its original domain (as in AddTriple).
+    provides.emplace_back(s, t);
+  }
+
+  // Resize the derived structures to the new widths.
+  const size_t m = dict_.size();
+  const size_t n = source_names_.size();
+  const size_t num_domains = domain_names_.size();
+  for (DynamicBitset& output : outputs_) output.Resize(m);
+  providers_.resize(m);
+  for (DynamicBitset& covers : source_covers_domain_) {
+    covers.Resize(num_domains);
+  }
+  domain_sources_.resize(num_domains);
+  domain_triples_.resize(num_domains);
+  for (TripleId t : delta->new_triples) {
+    domain_triples_[domains_[t]].push_back(t);
+  }
+  true_mask_.Resize(m);
+  labeled_mask_.Resize(m);
+
+  // Pass 2: apply the provides, maintaining provider lists and scope tables.
+  auto insert_sorted = [](std::vector<SourceId>* vec, SourceId s) {
+    vec->insert(std::lower_bound(vec->begin(), vec->end(), s), s);
+  };
+  for (const auto& [s, t] : provides) {
+    if (outputs_[s].Test(t)) continue;  // duplicate observation
+    outputs_[s].Set(t);
+    insert_sorted(&providers_[t], s);
+    delta->new_provides.emplace_back(s, t);
+    const DomainId d = domains_[t];
+    if (!source_covers_domain_[s].Test(d)) {
+      source_covers_domain_[s].Set(d);
+      insert_sorted(&domain_sources_[d], s);
+      delta->scope_gains.emplace_back(s, d);
+    }
+  }
+
+  // Pass 3: labels. Labels for triples no source provides are skipped
+  // (LoadDataset semantics: only provided triples are evaluated).
+  for (const LabelUpdate& lu : batch.labels) {
+    TripleId t = dict_.Lookup(lu.triple);
+    if (t == kInvalidTriple || providers_[t].empty()) continue;
+    const Label new_label = lu.is_true ? Label::kTrue : Label::kFalse;
+    if (labels_[t] == new_label) continue;
+    delta->label_changes.emplace_back(t, labels_[t]);
+    labels_[t] = new_label;
+    labeled_mask_.Set(t);
+    true_mask_.Assign(t, lu.is_true);
+  }
+
+  // A no-op batch (all duplicates) leaves the version alone so runs scored
+  // before it stay evaluable.
+  if (!delta->empty()) ++version_;
   return Status::OK();
 }
 

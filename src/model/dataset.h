@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bitset.h"
@@ -29,6 +30,55 @@ namespace fuser {
 
 /// Gold-standard label of a triple.
 enum class Label : uint8_t { kUnknown = 0, kFalse = 1, kTrue = 2 };
+
+/// One streamed source-triple observation (Si |= t). Sources, triples, and
+/// domains are identified by name so a batch can introduce new ones.
+struct Observation {
+  std::string source;
+  Triple triple;
+  std::string domain;  // "" = the default global domain
+};
+
+/// One streamed gold label.
+struct LabelUpdate {
+  Triple triple;
+  bool is_true = false;
+};
+
+/// A micro-batch of streamed observations and labels, applied atomically by
+/// Dataset::ApplyBatch after Finalize.
+struct ObservationBatch {
+  std::vector<Observation> observations;
+  std::vector<LabelUpdate> labels;
+
+  bool empty() const { return observations.empty() && labels.empty(); }
+};
+
+/// Structural delta produced by ApplyBatch: exactly what changed, in terms
+/// the incremental engine paths can consume. Old masks are reconstructable
+/// from the current dataset minus the recorded additions (observations only
+/// ever add provider/scope bits).
+struct DatasetDelta {
+  size_t old_num_triples = 0;
+  size_t old_num_sources = 0;
+  size_t old_num_domains = 0;
+  std::vector<SourceId> new_sources;
+  std::vector<TripleId> new_triples;  // ids are >= old_num_triples
+  /// (source, triple) pairs newly provided by this batch (duplicates of
+  /// existing observations are dropped). Includes provides of new triples.
+  std::vector<std::pair<SourceId, TripleId>> new_provides;
+  /// (source, domain) pairs where the source newly covers the domain, i.e.
+  /// every triple of the domain gained an in-scope source.
+  std::vector<std::pair<SourceId, DomainId>> scope_gains;
+  /// (triple, previous label) for every label that actually changed.
+  std::vector<std::pair<TripleId, Label>> label_changes;
+
+  bool empty() const {
+    return new_sources.empty() && new_triples.empty() &&
+           new_provides.empty() && scope_gains.empty() &&
+           label_changes.empty();
+  }
+};
 
 class Dataset {
  public:
@@ -58,10 +108,27 @@ class Dataset {
   void SetLabel(TripleId triple, bool is_true);
 
   /// Builds the derived indexes (provider lists, scope tables, gold
-  /// bitsets). Must be called once, after which the dataset is immutable.
+  /// bitsets). Must be called once; afterwards the dataset only changes
+  /// through ApplyBatch.
   Status Finalize();
 
   bool finalized() const { return finalized_; }
+
+  // ---- Streaming ingestion (after Finalize) ----
+
+  /// Applies a micro-batch of streamed observations and labels, maintaining
+  /// every derived index incrementally (providers, scope tables, gold
+  /// bitsets). Unknown sources/triples/domains are created; duplicate
+  /// observations and no-op labels are dropped. Labels for triples no
+  /// source provides are skipped, mirroring LoadDataset. On success the
+  /// structural delta is written to `*delta` (never null) and version() is
+  /// bumped.
+  Status ApplyBatch(const ObservationBatch& batch, DatasetDelta* delta);
+
+  /// Monotonic change counter: bumped by Finalize and every ApplyBatch.
+  /// Consumers caching derived state (e.g. FusionEngine) compare versions
+  /// to detect out-of-band mutation.
+  uint64_t version() const { return version_; }
 
   // ---- Sizes ----
 
@@ -115,10 +182,16 @@ class Dataset {
   /// Number of triples a source provides.
   size_t output_size(SourceId s) const { return outputs_[s].Count(); }
 
+  /// Triples of domain d, ascending. Valid after Finalize().
+  const std::vector<TripleId>& triples_in_domain(DomainId d) const {
+    return domain_triples_[d];
+  }
+
  private:
   DomainId InternDomain(const std::string& name);
 
   bool finalized_ = false;
+  uint64_t version_ = 0;
 
   std::vector<std::string> source_names_;
   std::unordered_map<std::string, SourceId> source_index_;
@@ -136,9 +209,10 @@ class Dataset {
   // Sparse observations collected before Finalize().
   std::vector<std::vector<TripleId>> pending_observations_;
 
-  // Derived (Finalize).
+  // Derived (Finalize; maintained incrementally by ApplyBatch).
   std::vector<std::vector<SourceId>> providers_;
   std::vector<std::vector<SourceId>> domain_sources_;
+  std::vector<std::vector<TripleId>> domain_triples_;
   std::vector<DynamicBitset> source_covers_domain_;
   DynamicBitset true_mask_;
   DynamicBitset labeled_mask_;

@@ -10,59 +10,78 @@ namespace fuser {
 
 StatusOr<Dataset> LoadDataset(const std::string& observations_path,
                               const std::string& gold_path) {
-  FUSER_ASSIGN_OR_RETURN(std::vector<CsvRow> rows,
-                         ReadCsvFile(observations_path, '\t'));
+  // One parser for both entry points: parse into a batch, replay it into a
+  // fresh dataset.
+  FUSER_ASSIGN_OR_RETURN(ObservationBatch batch,
+                         LoadObservationBatch(observations_path, gold_path));
   Dataset dataset;
   std::unordered_map<std::string, SourceId> seen_sources;
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const CsvRow& row = rows[i];
-    if (row.size() != 4 && row.size() != 5) {
-      return Status::InvalidArgument(StrFormat(
-          "%s: row %zu has %zu fields, want 4 or 5", observations_path.c_str(),
-          i + 1, row.size()));
-    }
+  for (const Observation& obs : batch.observations) {
     SourceId source;
-    auto it = seen_sources.find(row[0]);
+    auto it = seen_sources.find(obs.source);
     if (it != seen_sources.end()) {
       source = it->second;
     } else {
-      source = dataset.AddSource(row[0]);
-      seen_sources.emplace(row[0], source);
+      source = dataset.AddSource(obs.source);
+      seen_sources.emplace(obs.source, source);
     }
-    const std::string domain = row.size() == 5 ? row[4] : "";
-    TripleId t = dataset.AddTriple({row[1], row[2], row[3]}, domain);
+    TripleId t = dataset.AddTriple(obs.triple, obs.domain);
     dataset.Provide(source, t);
   }
+  for (const LabelUpdate& label : batch.labels) {
+    TripleId t = dataset.FindTriple(label.triple);
+    if (t == kInvalidTriple) {
+      // Gold triples not provided by any source carry no observation and
+      // are skipped (the paper evaluates only provided triples).
+      continue;
+    }
+    dataset.SetLabel(t, label.is_true);
+  }
+  FUSER_RETURN_IF_ERROR(dataset.Finalize());
+  return dataset;
+}
+
+StatusOr<ObservationBatch> LoadObservationBatch(
+    const std::string& observations_path, const std::string& gold_path) {
+  ObservationBatch batch;
+  if (!observations_path.empty()) {
+    FUSER_ASSIGN_OR_RETURN(std::vector<CsvRow> rows,
+                           ReadCsvFile(observations_path, '\t'));
+    batch.observations.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const CsvRow& row = rows[i];
+      if (row.size() != 4 && row.size() != 5) {
+        return Status::InvalidArgument(
+            StrFormat("%s: row %zu has %zu fields, want 4 or 5",
+                      observations_path.c_str(), i + 1, row.size()));
+      }
+      Observation obs;
+      obs.source = row[0];
+      obs.triple = {row[1], row[2], row[3]};
+      if (row.size() == 5) obs.domain = row[4];
+      batch.observations.push_back(std::move(obs));
+    }
+  }
   if (!gold_path.empty()) {
-    FUSER_ASSIGN_OR_RETURN(std::vector<CsvRow> gold_rows,
+    FUSER_ASSIGN_OR_RETURN(std::vector<CsvRow> rows,
                            ReadCsvFile(gold_path, '\t'));
-    for (size_t i = 0; i < gold_rows.size(); ++i) {
-      const CsvRow& row = gold_rows[i];
+    batch.labels.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const CsvRow& row = rows[i];
       if (row.size() != 4) {
         return Status::InvalidArgument(
             StrFormat("%s: row %zu has %zu fields, want 4", gold_path.c_str(),
                       i + 1, row.size()));
       }
-      Triple triple{row[0], row[1], row[2]};
-      TripleId t = dataset.FindTriple(triple);
-      if (t == kInvalidTriple) {
-        // Gold triples not provided by any source carry no observation and
-        // are skipped (the paper evaluates only provided triples).
-        continue;
-      }
-      if (row[3] == "true") {
-        dataset.SetLabel(t, true);
-      } else if (row[3] == "false") {
-        dataset.SetLabel(t, false);
-      } else {
+      if (row[3] != "true" && row[3] != "false") {
         return Status::InvalidArgument(
             StrFormat("%s: row %zu has label '%s', want true|false",
                       gold_path.c_str(), i + 1, row[3].c_str()));
       }
+      batch.labels.push_back({{row[0], row[1], row[2]}, row[3] == "true"});
     }
   }
-  FUSER_RETURN_IF_ERROR(dataset.Finalize());
-  return dataset;
+  return batch;
 }
 
 Status SaveObservations(const Dataset& dataset, const std::string& path) {

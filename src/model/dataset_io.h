@@ -20,6 +20,12 @@ namespace fuser {
 StatusOr<Dataset> LoadDataset(const std::string& observations_path,
                               const std::string& gold_path);
 
+/// Loads the same TSV formats into an ObservationBatch for streaming
+/// ingestion (Dataset::ApplyBatch / FusionEngine::Update). Either path may
+/// be "" to skip that side.
+StatusOr<ObservationBatch> LoadObservationBatch(
+    const std::string& observations_path, const std::string& gold_path);
+
 /// Writes the observations of `dataset` in the TSV format above.
 Status SaveObservations(const Dataset& dataset, const std::string& path);
 

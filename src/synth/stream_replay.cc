@@ -1,0 +1,44 @@
+#include "synth/stream_replay.h"
+
+namespace fuser {
+
+StatusOr<Dataset> PrefixDataset(const Dataset& full, TripleId hi) {
+  if (!full.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  if (hi == 0 || hi > full.num_triples()) {
+    return Status::InvalidArgument("prefix bound out of range");
+  }
+  Dataset d;
+  for (SourceId s = 0; s < full.num_sources(); ++s) {
+    d.AddSource(full.source_name(s));
+  }
+  for (TripleId t = 0; t < hi; ++t) {
+    TripleId nt =
+        d.AddTriple(full.triple(t), full.domain_name(full.domain(t)));
+    for (SourceId s : full.providers(t)) d.Provide(s, nt);
+    if (full.label(t) != Label::kUnknown) {
+      d.SetLabel(nt, full.label(t) == Label::kTrue);
+    }
+  }
+  FUSER_RETURN_IF_ERROR(d.Finalize());
+  return d;
+}
+
+ObservationBatch BatchForRange(const Dataset& full, TripleId lo,
+                               TripleId hi) {
+  ObservationBatch batch;
+  for (TripleId t = lo; t < hi && t < full.num_triples(); ++t) {
+    const Triple& triple = full.triple(t);
+    const std::string& domain = full.domain_name(full.domain(t));
+    for (SourceId s : full.providers(t)) {
+      batch.observations.push_back({full.source_name(s), triple, domain});
+    }
+    if (full.label(t) != Label::kUnknown) {
+      batch.labels.push_back({triple, full.label(t) == Label::kTrue});
+    }
+  }
+  return batch;
+}
+
+}  // namespace fuser

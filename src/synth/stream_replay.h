@@ -1,0 +1,25 @@
+// Replay helpers for streaming experiments: slice a finalized dataset into
+// a bootstrap prefix plus observation micro-batches, so tests and benches
+// can simulate live ingestion against a known end state and compare the
+// incrementally-updated engine with one rebuilt from scratch.
+#ifndef FUSER_SYNTH_STREAM_REPLAY_H_
+#define FUSER_SYNTH_STREAM_REPLAY_H_
+
+#include "common/status.h"
+#include "model/dataset.h"
+
+namespace fuser {
+
+/// Rebuilds the prefix [0, hi) of `full` as a standalone finalized dataset.
+/// Every source of `full` is registered up front (so streaming the suffix
+/// adds observations, not sources); triple ids [0, hi) coincide with
+/// `full`'s. Requires 0 < hi <= full.num_triples().
+StatusOr<Dataset> PrefixDataset(const Dataset& full, TripleId hi);
+
+/// The observations and gold labels of `full` for triples [lo, hi) as a
+/// streaming micro-batch (one Observation per provider).
+ObservationBatch BatchForRange(const Dataset& full, TripleId lo, TripleId hi);
+
+}  // namespace fuser
+
+#endif  // FUSER_SYNTH_STREAM_REPLAY_H_

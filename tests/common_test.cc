@@ -148,6 +148,81 @@ TEST(CsvTest, MissingFileIsIoError) {
   EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
 }
 
+TEST(CsvTest, FileRoundTripsEmbeddedNewlines) {
+  std::string path = testing::TempDir() + "/fuser_csv_nl.csv";
+  std::vector<CsvRow> rows = {{"multi\nline", "a"},
+                              {"three\n\nlines", "quoted \"and\"\nbroken"},
+                              {"plain", "b"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, FileRoundTripsLeadingHash) {
+  std::string path = testing::TempDir() + "/fuser_csv_hash.csv";
+  std::vector<CsvRow> rows = {{"#not-a-comment", "a"}, {"#", ""}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  // Real comments are still skipped...
+  {
+    FILE* f = fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    fputs("# a real comment\n", f);
+    fclose(f);
+  }
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  // ...but written data beginning with '#' survives the round-trip.
+  EXPECT_EQ(*loaded, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, CommentAndBlankLinesInsideQuotedFieldArePreserved) {
+  std::string path = testing::TempDir() + "/fuser_csv_inner.csv";
+  std::vector<CsvRow> rows = {{"a\n# not a comment\n\nb", "x"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, FileRoundTripsCarriageReturns) {
+  std::string path = testing::TempDir() + "/fuser_csv_cr.csv";
+  // CR inside a field (alone, and as part of CRLF) is content and must
+  // survive; a trailing CR outside quotes is a CRLF line terminator.
+  std::vector<CsvRow> rows = {{"a\rb", "x"}, {"a\r\nb", "y"}, {"end\r", "z"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, rows);
+  // A CRLF-terminated file still parses without stray CRs.
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("p,q\r\n", f);
+    fclose(f);
+  }
+  loaded = ReadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, (std::vector<CsvRow>{{"p", "q"}}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, UnterminatedQuoteAtEofIsError) {
+  std::string path = testing::TempDir() + "/fuser_csv_bad.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("\"never closed\nstill open", f);
+    fclose(f);
+  }
+  auto loaded = ReadCsvFile(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
 // ---------- Bit utilities ----------
 
 TEST(BitUtilTest, FullMaskAndBits) {
