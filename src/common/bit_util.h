@@ -112,6 +112,39 @@ void ForEachKSubset(Mask set, int k, Fn&& fn) {
 /// (n <= 64); saturates at UINT64_MAX.
 uint64_t BinomialCoefficient(int n, int k);
 
+/// In-place 64x64 bit-matrix transpose: after the call, bit j of m[i]
+/// equals bit i of the original m[j]. Bit k of word w is addressed as
+/// (w >> k) & 1, i.e. the LSB-first convention used by DynamicBitset.
+///
+/// Recursive block-swap (Hacker's Delight 7-3 adapted to LSB-first): at
+/// block size j it swaps the high j bits of row k with the low j bits of
+/// row k+j for every aligned row pair, halving j each round — 6 rounds of
+/// 32 word-pair swaps instead of 4096 single-bit moves. This is the
+/// word-level primitive behind the pattern-grouping hot path: k source
+/// bitset words in, 64 per-triple provider masks out.
+inline void Transpose64x64(uint64_t m[64]) {
+  uint64_t mask = 0x00000000FFFFFFFFULL;
+  for (int j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      uint64_t t = ((m[k] >> j) ^ m[k + j]) & mask;
+      m[k] ^= t << j;
+      m[k + j] ^= t;
+    }
+  }
+}
+
+/// Transposes `k` row words (k <= 64) into 64 column masks: cols[j] gets
+/// bit i set iff bit j of rows[i] is set, for i < k; bits >= k are zero.
+/// rows may alias cols only if they point to the same 64-word buffer.
+inline void TransposeBitColumns(const uint64_t* rows, size_t k,
+                                uint64_t cols[64]) {
+  uint64_t buf[64];
+  for (size_t i = 0; i < k; ++i) buf[i] = rows[i];
+  for (size_t i = k; i < 64; ++i) buf[i] = 0;
+  Transpose64x64(buf);
+  for (size_t j = 0; j < 64; ++j) cols[j] = buf[j];
+}
+
 /// splitmix-style mix of two 64-bit words into one hash value. Shared by
 /// every hasher keyed on a mask pair (pattern keys, joint-stats memos).
 inline uint64_t MixMaskPair(uint64_t a, uint64_t b) {

@@ -125,6 +125,14 @@ class DynamicBitset {
     return size_ == other.size_ && words_ == other.words_;
   }
 
+  /// Word-level access for bulk readers (bit i lives at bit (i % 64) of
+  /// word i / 64; tail bits past size() are zero). The word-parallel
+  /// pattern-grouping path reads source bitsets 64 triples at a time
+  /// through this span instead of calling Test per bit.
+  size_t num_words() const { return words_.size(); }
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t word(size_t wi) const { return words_[wi]; }
+
  private:
   void TrimTail() {
     if (size_ % 64 != 0 && !words_.empty()) {

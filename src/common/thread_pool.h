@@ -3,10 +3,13 @@
 // PrecRecCorr's per-triple probabilities are independent (the paper notes
 // "Parallelization can significantly improve the efficiency of
 // PrecRecCorr"); the engine uses ParallelFor to score distinct observation
-// patterns concurrently.
+// patterns concurrently. The engine owns one persistent ThreadPool and
+// passes it through ParallelForOptions so repeated Run/Update calls reuse
+// warm workers instead of paying thread creation per parallel section.
 #ifndef FUSER_COMMON_THREAD_POOL_H_
 #define FUSER_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -52,12 +55,32 @@ class ThreadPool {
 /// same thing everywhere.
 size_t ResolveNumThreads(size_t num_threads);
 
+struct ParallelForOptions {
+  /// Run worker tasks on this pool instead of spawning fresh OS threads
+  /// (the calling thread always participates as one worker). The pool may
+  /// be shared: stragglers that find no chunk left exit immediately, so a
+  /// ParallelFor never blocks on unrelated pool work beyond in-flight
+  /// tasks.
+  ThreadPool* pool = nullptr;
+  /// Cooperative cancellation: when non-null and set, workers stop claiming
+  /// chunks and skip remaining items. Already-running fn calls finish;
+  /// ParallelFor still returns only after every claimed chunk completes.
+  std::atomic<bool>* cancel = nullptr;
+};
+
 /// Runs fn(i) for i in [0, count) across `num_threads` workers, blocking
 /// until completion. num_threads is resolved via ResolveNumThreads (0 =
 /// hardware concurrency); with a single resolved worker (or count <= 1) it
 /// runs inline. `fn` must be safe to invoke concurrently for distinct i.
+///
+/// Dispatch is chunked: workers claim contiguous index ranges (a handful
+/// per worker) from one atomic counter, not one index at a time, so cheap
+/// per-item bodies are not dominated by contended fetch_adds.
 void ParallelFor(size_t count, size_t num_threads,
                  const std::function<void(size_t)>& fn);
+void ParallelFor(size_t count, size_t num_threads,
+                 const std::function<void(size_t)>& fn,
+                 const ParallelForOptions& options);
 
 }  // namespace fuser
 

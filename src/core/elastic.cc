@@ -73,7 +73,8 @@ Status ElasticClusterLikelihood(const JointStatsProvider& stats,
 StatusOr<std::vector<double>> ElasticScores(const Dataset& dataset,
                                             const CorrelationModel& model,
                                             const ElasticOptions& options,
-                                            const PatternGrouping* grouping) {
+                                            const PatternGrouping* grouping,
+                                            ThreadPool* pool) {
   if (!dataset.finalized()) {
     return Status::FailedPrecondition("dataset not finalized");
   }
@@ -84,8 +85,9 @@ StatusOr<std::vector<double>> ElasticScores(const Dataset& dataset,
     return Status::InvalidArgument("model cluster_stats/clusters mismatch");
   }
   PatternGrouping local;
-  FUSER_ASSIGN_OR_RETURN(grouping,
-                         GetOrBuildGrouping(dataset, model, grouping, &local));
+  FUSER_ASSIGN_OR_RETURN(
+      grouping, GetOrBuildGrouping(dataset, model, grouping, &local,
+                                   options.num_threads, pool));
 
   auto scorer = [&](size_t c, const PatternKey& key, double* given_true,
                     double* given_false) -> Status {
@@ -95,8 +97,10 @@ StatusOr<std::vector<double>> ElasticScores(const Dataset& dataset,
   };
   FUSER_ASSIGN_OR_RETURN(
       std::vector<std::vector<PatternLikelihood>> likelihood,
-      ScorePatterns(*grouping, options.num_threads, scorer));
-  return CombinePatternScores(*grouping, likelihood, model.alpha);
+      ScorePatterns(*grouping, options.num_threads, scorer,
+                    /*batch=*/nullptr, pool));
+  return CombinePatternScores(*grouping, likelihood, model.alpha,
+                              options.num_threads, pool);
 }
 
 }  // namespace fuser

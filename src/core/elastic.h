@@ -37,11 +37,12 @@ struct ElasticOptions {
 };
 
 /// Scores every triple with the elastic approximation at the configured
-/// level. `grouping` optionally supplies a prebuilt pattern grouping for
-/// (dataset, model) — see PrecRecCorrScores.
+/// level. `grouping` optionally supplies a prebuilt pattern grouping and
+/// `pool` persistent worker threads — see PrecRecCorrScores.
 StatusOr<std::vector<double>> ElasticScores(
     const Dataset& dataset, const CorrelationModel& model,
-    const ElasticOptions& options, const PatternGrouping* grouping = nullptr);
+    const ElasticOptions& options, const PatternGrouping* grouping = nullptr,
+    ThreadPool* pool = nullptr);
 
 /// Per-cluster elastic numerator/denominator for observation (P, N);
 /// exposed for tests against the paper's Example 4.10.

@@ -315,13 +315,25 @@ Status FusionEngine::EnsureModel() {
   return Status::OK();
 }
 
+ThreadPool* FusionEngine::WorkerPool() {
+  const size_t num_threads = ResolveNumThreads(options_.num_threads);
+  if (num_threads <= 1) return nullptr;
+  if (pool_ == nullptr || pool_->num_threads() != num_threads) {
+    pool_ = std::make_unique<ThreadPool>(num_threads);
+  }
+  return pool_.get();
+}
+
 Status FusionEngine::EnsureGrouping() {
   FUSER_RETURN_IF_ERROR(EnsureModel());
   if (grouping_.has_value()) {
     return Status::OK();
   }
-  FUSER_ASSIGN_OR_RETURN(PatternGrouping grouping,
-                         BuildPatternGrouping(*dataset_, *model_));
+  FUSER_ASSIGN_OR_RETURN(
+      PatternGrouping grouping,
+      BuildPatternGrouping(*dataset_, *model_,
+                           ResolveNumThreads(options_.num_threads),
+                           WorkerPool()));
   grouping_ = std::move(grouping);
   ++grouping_builds_;
   return Status::OK();
@@ -352,6 +364,7 @@ StatusOr<const FusionMethod*> FusionEngine::ResolveAndPrepareContext(
   context->quality = &quality_;
   context->num_threads =
       method->supports_threads() ? ResolveNumThreads(options_.num_threads) : 1;
+  context->pool = method->supports_threads() ? WorkerPool() : nullptr;
   // Shared inputs are built outside the timed section (they are reused
   // across methods, like the paper's offline parameters).
   if (method->needs_model()) {

@@ -19,12 +19,14 @@
 #ifndef FUSER_CORE_ENGINE_H_
 #define FUSER_CORE_ENGINE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/bitset.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/correlation_model.h"
 #include "core/fusion_method.h"
 #include "core/pattern_pipeline.h"
@@ -157,6 +159,11 @@ class FusionEngine {
  private:
   Status EnsureModel();
   Status EnsureGrouping();
+  /// The engine's persistent worker pool, created lazily on the first
+  /// parallel section and reused by every Run/Update/grouping build after
+  /// it (repeated calls stop paying per-call thread creation). Returns
+  /// nullptr when the resolved thread count is 1 — everything runs inline.
+  ThreadPool* WorkerPool();
   /// Out-of-band mutation guard: the dataset's version must match what the
   /// engine last saw (Prepare or Update).
   Status CheckDatasetVersion() const;
@@ -181,6 +188,7 @@ class FusionEngine {
   std::vector<SourceQuality> quality_;
   std::optional<CorrelationModel> model_;
   std::optional<PatternGrouping> grouping_;
+  std::unique_ptr<ThreadPool> pool_;
   size_t grouping_builds_ = 0;
   size_t updates_applied_ = 0;
   size_t full_invalidations_ = 0;

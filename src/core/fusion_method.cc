@@ -63,7 +63,7 @@ class PrecRecCorrMethod : public FusionMethod {
     PrecRecCorrOptions options = context.options->corr;
     options.num_threads = context.num_threads;
     return PrecRecCorrScores(*context.dataset, *context.model, options,
-                             context.grouping);
+                             context.grouping, context.pool);
   }
 };
 
@@ -126,7 +126,7 @@ class ElasticMethod : public FusionMethod {
     options.level = spec.elastic_level;
     options.num_threads = context.num_threads;
     return ElasticScores(*context.dataset, *context.model, options,
-                         context.grouping);
+                         context.grouping, context.pool);
   }
 };
 

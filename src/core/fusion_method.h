@@ -33,6 +33,8 @@
 
 namespace fuser {
 
+class ThreadPool;
+
 enum class MethodKind {
   kUnion,           // Union-K voting (K = union_percent)
   kThreeEstimates,  // Galland et al. baseline
@@ -85,6 +87,10 @@ struct MethodContext {
   const PatternGrouping* grouping = nullptr;
   /// Resolved worker count (never 0).
   size_t num_threads = 1;
+  /// The engine's persistent worker pool (null when num_threads == 1 or
+  /// the method runs outside an engine). Methods pass it to ParallelFor /
+  /// ScorePatterns so repeated Run calls reuse warm threads.
+  ThreadPool* pool = nullptr;
 };
 
 /// One fusion method. Implementations are stateless: all inputs arrive via

@@ -22,6 +22,25 @@ double FprFromCounts(double num_false, double den_true, double smoothing,
 
 }  // namespace
 
+Status JointStatsProvider::ScoreAllPatterns(
+    const std::vector<PatternQuery>& queries, bool calibrated,
+    std::vector<std::pair<double, double>>* out) const {
+  out->resize(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    double pt = 0.0;
+    double pf = 0.0;
+    Status s = calibrated
+                   ? CalibratedPatternLikelihood(queries[i].providers,
+                                                 queries[i].nonproviders, &pt,
+                                                 &pf)
+                   : ExactPatternLikelihood(queries[i].providers,
+                                            queries[i].nonproviders, &pt, &pf);
+    if (!s.ok()) return s;
+    (*out)[i] = {pt, pf};
+  }
+  return Status::OK();
+}
+
 StatusOr<std::unique_ptr<EmpiricalJointStats>> EmpiricalJointStats::Create(
     const Dataset& dataset, const DynamicBitset& train_mask,
     const std::vector<SourceId>& cluster_sources,
@@ -188,9 +207,7 @@ Status EmpiricalJointStats::ApplyPatternDeltas(
     if (count < 0 || new_total < 0) {
       // Counts already partially mutated: drop the memos so the provider
       // cannot serve answers inconsistent with its state.
-      memo_.clear();
-      exact_memo_.clear();
-      calibrated_memo_.clear();
+      ClearMemos();
       return Status::Internal("pattern count underflow in ApplyPatternDeltas");
     }
     pattern.count = static_cast<uint32_t>(count);
@@ -199,9 +216,7 @@ Status EmpiricalJointStats::ApplyPatternDeltas(
   }
   if (has_tables_ && !incremental_tables) BuildTables();
   // Every memoized lookup may now be stale.
-  memo_.clear();
-  exact_memo_.clear();
-  calibrated_memo_.clear();
+  ClearMemos();
   return Status::OK();
 }
 
@@ -230,11 +245,31 @@ EmpiricalJointStats::Counts EmpiricalJointStats::ComputeCounts(
 
 const EmpiricalJointStats::Counts& EmpiricalJointStats::CachedCounts(
     Mask subset) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = memo_.find(subset);
-  if (it != memo_.end()) return it->second;
+  CountShard& shard =
+      count_shards_[MixMaskPair(subset, 0x517CC1B727220A95ULL) &
+                    (kCountShards - 1)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.memo.find(subset);
+    if (it != shard.memo.end()) return it->second;
+  }
+  // Compute outside the lock: a racing duplicate computation is benign
+  // (emplace keeps the first entry) and the pattern-list scan is the
+  // expensive part we must not serialize.
   Counts counts = ComputeCounts(subset);
-  return memo_.emplace(subset, counts).first->second;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.memo.emplace(subset, counts).first->second;
+}
+
+void EmpiricalJointStats::ClearMemos() {
+  // Likelihood memos are guarded by mu_, which every caller of this helper
+  // (ApplyPatternDeltas) already holds.
+  for (CountShard& shard : count_shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.memo.clear();
+  }
+  exact_memo_.clear();
+  calibrated_memo_.clear();
 }
 
 JointQuality EmpiricalJointStats::Get(Mask subset) const {
@@ -401,6 +436,91 @@ Status EmpiricalJointStats::CalibratedPatternLikelihood(
   }
   *pr_given_true = pt;
   *pr_given_false = pf;
+  return Status::OK();
+}
+
+Status EmpiricalJointStats::ScoreAllPatterns(
+    const std::vector<PatternQuery>& queries, bool calibrated,
+    std::vector<std::pair<double, double>>* out) const {
+  if (calibrated && !SupportsCalibratedLikelihood()) {
+    return Status::FailedPrecondition(
+        "calibrated likelihood requires smoothing == 0");
+  }
+  if (!calibrated) {
+    if (!SupportsExactLikelihood()) {
+      return Status::FailedPrecondition(
+          "exact likelihood requires smoothing == 0");
+    }
+    if (total_true_ == 0) {
+      return Status::FailedPrecondition("no true training triples");
+    }
+  }
+  for (const PatternQuery& q : queries) {
+    if ((q.providers & q.nonproviders) != 0) {
+      return Status::InvalidArgument("providers and nonproviders overlap");
+    }
+  }
+  out->assign(queries.size(), {0.0, 0.0});
+
+  // Queries conditioning on the same observed-scope mask share their
+  // denominators and their partition of the training patterns, so group
+  // them and make one pass over the pattern lists per group. Within a
+  // group, a training pattern matches query (P, N) iff its provider set
+  // restricted to observed = P | N equals exactly P — so one hash of
+  // (providers & observed) per training pattern answers every query of the
+  // group in O(1). Integer counts only: results stay byte-identical to the
+  // per-query scan regardless of grouping or thread count.
+  std::unordered_map<Mask, std::vector<uint32_t>> groups;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    groups[queries[i].providers | queries[i].nonproviders].push_back(
+        static_cast<uint32_t>(i));
+  }
+  const double alpha_odds = options_.alpha / (1.0 - options_.alpha);
+  std::unordered_map<Mask, std::pair<size_t, size_t>> counts;
+  for (const auto& [observed, group] : groups) {
+    size_t den_true = 0;
+    size_t den_false = 0;
+    counts.clear();
+    for (const Pattern& p : true_patterns_) {
+      if (options_.use_scopes && (p.scope & observed) != observed) continue;
+      den_true += p.count;
+      counts[p.providers & observed].first += p.count;
+    }
+    for (const Pattern& p : false_patterns_) {
+      if (options_.use_scopes && (p.scope & observed) != observed) continue;
+      den_false += p.count;
+      counts[p.providers & observed].second += p.count;
+    }
+    for (uint32_t i : group) {
+      size_t cnt_true = 0;
+      size_t cnt_false = 0;
+      if (auto it = counts.find(queries[i].providers); it != counts.end()) {
+        cnt_true = it->second.first;
+        cnt_false = it->second.second;
+      }
+      double pt;
+      double pf;
+      if (calibrated) {
+        pt = (static_cast<double>(cnt_true) + 0.5) /
+             (static_cast<double>(den_true) + 1.0);
+        pf = (static_cast<double>(cnt_false) + 0.5) /
+             (static_cast<double>(den_false) + 1.0);
+      } else if (den_true == 0) {
+        // No training triple with this scope: the cluster is uninformative.
+        pt = 1.0;
+        pf = 1.0;
+      } else {
+        const double tt = static_cast<double>(den_true);
+        pt = static_cast<double>(cnt_true) / tt;
+        pf = alpha_odds * static_cast<double>(cnt_false) / tt;
+        if (queries[i].providers == 0) {
+          // Mirror ExactPatternLikelihood's S* = empty correction.
+          pf += 1.0 - alpha_odds * static_cast<double>(den_false) / tt;
+        }
+      }
+      (*out)[i] = {pt, pf};
+    }
+  }
   return Status::OK();
 }
 

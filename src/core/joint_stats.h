@@ -21,6 +21,7 @@
 #ifndef FUSER_CORE_JOINT_STATS_H_
 #define FUSER_CORE_JOINT_STATS_H_
 
+#include <array>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -52,6 +53,14 @@ struct JointPatternDelta {
   Mask scope = 0;
   bool is_true = false;
   int count_delta = 0;
+};
+
+/// One observation-pattern likelihood query: "all of `providers` provide
+/// the triple, none of `nonproviders` does". The batched ScoreAllPatterns
+/// path takes a whole cluster's distinct patterns at once.
+struct PatternQuery {
+  Mask providers = 0;
+  Mask nonproviders = 0;
 };
 
 /// Interface for joint statistics within one cluster.
@@ -109,6 +118,19 @@ class JointStatsProvider {
   /// the calibrated form must supply it explicitly).
   virtual double EmpiricalPriorTrue() const { return alpha(); }
 
+  /// Batched form of {Exact,Calibrated}PatternLikelihood: computes the
+  /// likelihood pair of every query and writes them to `out` (resized to
+  /// queries.size(), pair = {pr_given_true, pr_given_false}). Results are
+  /// byte-identical to per-query calls. The base implementation loops over
+  /// the per-query virtuals; EmpiricalJointStats overrides it with a
+  /// single-pass scan that groups queries by observed-scope mask so each
+  /// scope's denominators are computed once and no memo mutex is touched.
+  /// Must be safe to call concurrently.
+  virtual Status ScoreAllPatterns(const std::vector<PatternQuery>& queries,
+                                  bool calibrated,
+                                  std::vector<std::pair<double, double>>* out)
+      const;
+
   /// Incrementally folds streamed pattern-count changes into the provider.
   /// After a successful call the provider is byte-identical (for every
   /// query) to one built from scratch over the updated training set.
@@ -158,6 +180,10 @@ class EmpiricalJointStats : public JointStatsProvider {
     return (static_cast<double>(total_true_) + 0.5) /
            (static_cast<double>(total_true_ + total_false_) + 1.0);
   }
+  Status ScoreAllPatterns(const std::vector<PatternQuery>& queries,
+                          bool calibrated,
+                          std::vector<std::pair<double, double>>* out)
+      const override;
   Status ApplyPatternDeltas(
       const std::vector<JointPatternDelta>& deltas) override;
 
@@ -211,8 +237,21 @@ class EmpiricalJointStats : public JointStatsProvider {
   std::vector<uint32_t> sup_false_;
   std::vector<uint32_t> sup_scope_true_;  // only populated with scopes
 
-  mutable std::mutex mu_;  // guards the memo maps under parallel scoring
-  mutable std::unordered_map<Mask, Counts> memo_;
+  // The subset-counts memo for the no-SoS-table path (k > sos_table_max_bits)
+  // is sharded by mask hash: parallel scorers calling Get/CountTrueSuperset
+  // contend only within a shard instead of serializing on one mutex.
+  // Entries are never erased except under ClearMemos (all shards locked),
+  // so returned references stay valid across concurrent inserts
+  // (unordered_map is node-based).
+  static constexpr size_t kCountShards = 16;
+  struct CountShard {
+    std::mutex mu;
+    std::unordered_map<Mask, Counts> memo;
+  };
+  void ClearMemos();
+
+  mutable std::array<CountShard, kCountShards> count_shards_;
+  mutable std::mutex mu_;  // guards the likelihood memos under parallel scoring
   mutable std::unordered_map<std::pair<Mask, Mask>, std::pair<double, double>,
                              MaskPairHash>
       exact_memo_;

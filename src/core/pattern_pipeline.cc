@@ -1,6 +1,7 @@
 #include "core/pattern_pipeline.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <mutex>
 #include <unordered_map>
@@ -11,15 +12,252 @@
 
 namespace fuser {
 
-StatusOr<PatternGrouping> BuildPatternGrouping(const Dataset& dataset,
-                                               const CorrelationModel& model) {
+namespace {
+
+Status CheckGroupingInputs(const Dataset& dataset,
+                           const CorrelationModel& model) {
   if (!dataset.finalized()) {
     return Status::FailedPrecondition("dataset not finalized");
   }
-  const size_t num_clusters = model.clustering.clusters.size();
-  if (model.cluster_stats.size() != num_clusters) {
+  if (model.cluster_stats.size() != model.clustering.clusters.size()) {
     return Status::InvalidArgument("model cluster_stats/clusters mismatch");
   }
+  return Status::OK();
+}
+
+/// Per-cluster inputs of the word-parallel mask extraction: the provider
+/// bitset word span of every cluster source, plus one precomputed scope
+/// mask per domain (scope is a property of (source, domain), so a triple's
+/// scope mask is a single array lookup keyed by its domain).
+struct ClusterMaskContext {
+  std::vector<const uint64_t*> provider_words;
+  std::vector<Mask> domain_scope;  // empty unless scopes are enabled
+  Mask full = 0;
+};
+
+ClusterMaskContext MakeClusterMaskContext(const Dataset& dataset,
+                                          const CorrelationModel& model,
+                                          size_t cluster_index) {
+  const std::vector<SourceId>& cluster =
+      model.clustering.clusters[cluster_index];
+  ClusterMaskContext ctx;
+  ctx.full = cluster.empty() ? Mask{0}
+                             : FullMask(static_cast<int>(cluster.size()));
+  ctx.provider_words.reserve(cluster.size());
+  for (SourceId s : cluster) {
+    ctx.provider_words.push_back(dataset.output(s).words());
+  }
+  if (model.use_scopes) {
+    ctx.domain_scope.assign(dataset.num_domains(), 0);
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (DomainId d = 0; d < dataset.num_domains(); ++d) {
+        if (dataset.covers_domain(cluster[i], d)) {
+          ctx.domain_scope[d] = WithBit(ctx.domain_scope[d],
+                                        static_cast<int>(i));
+        }
+      }
+    }
+  }
+  return ctx;
+}
+
+/// Writes the observation PatternKey of every triple in [begin, end) to
+/// out[0 .. end-begin): reads each source's provider bitset one 64-triple
+/// word at a time, transposes the k words into per-triple provider masks,
+/// and intersects with the domain's scope mask. Equivalent to (but ~k bit
+/// tests per triple cheaper than) GetClusterObservation per triple.
+void ExtractPatternKeys(const Dataset& dataset, const ClusterMaskContext& ctx,
+                        TripleId begin, TripleId end, PatternKey* out) {
+  const size_t k = ctx.provider_words.size();
+  const bool scoped = !ctx.domain_scope.empty();
+  uint64_t rows[64];
+  uint64_t cols[64];
+  size_t t = begin;
+  while (t < end) {
+    const size_t wi = t >> 6;
+    const size_t block_begin = wi << 6;
+    const size_t block_end = std::min<size_t>(block_begin + 64, end);
+    for (size_t i = 0; i < k; ++i) rows[i] = ctx.provider_words[i][wi];
+    TransposeBitColumns(rows, k, cols);
+    for (; t < block_end; ++t) {
+      const Mask scope = scoped ? ctx.domain_scope[dataset.domain(
+                                      static_cast<TripleId>(t))]
+                                : ctx.full;
+      // Providers are a subset of scope by construction (a provider covers
+      // the triple's domain); the intersection mirrors the scalar path.
+      const Mask providers = cols[t - block_begin] & scope;
+      out[t - begin] = PatternKey{providers, scope & ~providers};
+    }
+  }
+}
+
+/// Assigns pattern ids for keys[0 .. count) against a local index,
+/// appending unseen keys to `distinct` in first-occurrence order. The
+/// previous-key fast path skips the hash for runs of identical patterns.
+void AssignLocalIds(const PatternKey* keys, size_t count,
+                    std::unordered_map<PatternKey, uint32_t, PatternKeyHash>*
+                        index,
+                    std::vector<PatternKey>* distinct,
+                    uint32_t* ids) {
+  bool has_prev = false;
+  PatternKey prev_key;
+  uint32_t prev_id = 0;
+  for (size_t j = 0; j < count; ++j) {
+    if (has_prev && keys[j] == prev_key) {
+      ids[j] = prev_id;
+      continue;
+    }
+    auto [it, inserted] =
+        index->emplace(keys[j], static_cast<uint32_t>(distinct->size()));
+    if (inserted) distinct->push_back(keys[j]);
+    ids[j] = it->second;
+    prev_key = keys[j];
+    prev_id = it->second;
+    has_prev = true;
+  }
+}
+
+}  // namespace
+
+StatusOr<PatternGrouping> BuildPatternGrouping(const Dataset& dataset,
+                                               const CorrelationModel& model,
+                                               size_t num_threads,
+                                               ThreadPool* pool) {
+  FUSER_RETURN_IF_ERROR(CheckGroupingInputs(dataset, model));
+  const size_t num_clusters = model.clustering.clusters.size();
+  const size_t m = dataset.num_triples();
+
+  PatternGrouping grouping;
+  grouping.num_triples = m;
+  grouping.dataset = &dataset;
+  grouping.model_fingerprint = ModelGroupingFingerprint(model);
+  grouping.distinct.resize(num_clusters);
+  grouping.pattern_of.assign(num_clusters, std::vector<size_t>(m, 0));
+  grouping.index.resize(num_clusters);
+  if (m == 0 || num_clusters == 0) return grouping;
+
+  std::vector<ClusterMaskContext> contexts;
+  contexts.reserve(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    contexts.push_back(MakeClusterMaskContext(dataset, model, c));
+  }
+
+  // Partition the triple range into word-aligned chunks. Workers build a
+  // local pattern index per chunk; the merge below walks chunks in triple
+  // order, so the global result cannot depend on scheduling.
+  const size_t num_words = (m + 63) / 64;
+  const size_t workers = std::min(ResolveNumThreads(num_threads), num_words);
+  size_t num_chunks = workers <= 1 ? 1 : std::min(num_words, workers * 4);
+  const size_t words_per_chunk = (num_words + num_chunks - 1) / num_chunks;
+  num_chunks = (num_words + words_per_chunk - 1) / words_per_chunk;
+
+  struct ChunkLocal {
+    std::vector<std::vector<PatternKey>> distinct;   // per cluster
+    std::vector<std::vector<uint32_t>> local_of;     // per cluster
+  };
+  std::vector<ChunkLocal> chunks(num_chunks);
+  auto chunk_range = [&](size_t ci) {
+    const size_t begin = ci * words_per_chunk * 64;
+    const size_t end = std::min(m, begin + words_per_chunk * 64);
+    return std::make_pair(begin, end);
+  };
+
+  ParallelFor(
+      num_chunks, workers,
+      [&](size_t ci) {
+        const auto [begin, end] = chunk_range(ci);
+        ChunkLocal& local = chunks[ci];
+        local.distinct.resize(num_clusters);
+        local.local_of.resize(num_clusters);
+        std::vector<PatternKey> keys(end - begin);
+        std::unordered_map<PatternKey, uint32_t, PatternKeyHash> index;
+        for (size_t c = 0; c < num_clusters; ++c) {
+          const ClusterMaskContext& ctx = contexts[c];
+          const size_t k = ctx.provider_words.size();
+          local.local_of[c].resize(end - begin);
+          uint32_t* ids = local.local_of[c].data();
+          auto& distinct = local.distinct[c];
+          if (ctx.domain_scope.empty() && k <= 16) {
+            // Scope-free cluster with a small mask space: the pattern is a
+            // pure function of the provider mask, so a direct-mapped table
+            // replaces the per-triple hash — the transpose output indexes
+            // the table straight away.
+            std::vector<uint32_t> table(size_t{1} << k, UINT32_MAX);
+            uint64_t rows[64];
+            uint64_t cols[64];
+            size_t t = begin;
+            while (t < end) {
+              const size_t wi = t >> 6;
+              const size_t block_begin = wi << 6;
+              const size_t block_end = std::min<size_t>(block_begin + 64, end);
+              for (size_t i = 0; i < k; ++i) {
+                rows[i] = ctx.provider_words[i][wi];
+              }
+              TransposeBitColumns(rows, k, cols);
+              for (; t < block_end; ++t) {
+                const Mask prov = cols[t - block_begin];
+                uint32_t& slot = table[prov];
+                if (slot == UINT32_MAX) {
+                  slot = static_cast<uint32_t>(distinct.size());
+                  distinct.push_back(PatternKey{prov, ctx.full & ~prov});
+                }
+                ids[t - begin] = slot;
+              }
+            }
+          } else {
+            ExtractPatternKeys(dataset, ctx, static_cast<TripleId>(begin),
+                               static_cast<TripleId>(end), keys.data());
+            index.clear();
+            AssignLocalIds(keys.data(), keys.size(), &index, &distinct, ids);
+          }
+        }
+      },
+      ParallelForOptions{pool, nullptr});
+
+  // Deterministic merge: chunks are walked in triple order, and each
+  // chunk's local distinct list is in first-occurrence order, so global
+  // insertion order reproduces exactly the scalar builder's
+  // first-occurrence-by-triple order — byte-identical `distinct` at every
+  // thread count.
+  std::vector<std::vector<std::vector<uint32_t>>> remap(num_chunks);
+  for (size_t ci = 0; ci < num_chunks; ++ci) remap[ci].resize(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    auto& index = grouping.index[c];
+    auto& distinct = grouping.distinct[c];
+    for (size_t ci = 0; ci < num_chunks; ++ci) {
+      const auto& local_distinct = chunks[ci].distinct[c];
+      auto& local_remap = remap[ci][c];
+      local_remap.resize(local_distinct.size());
+      for (size_t i = 0; i < local_distinct.size(); ++i) {
+        auto [it, inserted] = index.emplace(local_distinct[i],
+                                            distinct.size());
+        if (inserted) distinct.push_back(local_distinct[i]);
+        local_remap[i] = static_cast<uint32_t>(it->second);
+      }
+    }
+  }
+
+  ParallelFor(
+      num_chunks, workers,
+      [&](size_t ci) {
+        const auto [begin, end] = chunk_range(ci);
+        for (size_t c = 0; c < num_clusters; ++c) {
+          const auto& local_of = chunks[ci].local_of[c];
+          const auto& local_remap = remap[ci][c];
+          auto& pattern_of = grouping.pattern_of[c];
+          for (size_t j = 0; j < end - begin; ++j) {
+            pattern_of[begin + j] = local_remap[local_of[j]];
+          }
+        }
+      },
+      ParallelForOptions{pool, nullptr});
+  return grouping;
+}
+
+StatusOr<PatternGrouping> BuildPatternGroupingScalar(
+    const Dataset& dataset, const CorrelationModel& model) {
+  FUSER_RETURN_IF_ERROR(CheckGroupingInputs(dataset, model));
+  const size_t num_clusters = model.clustering.clusters.size();
   const size_t m = dataset.num_triples();
 
   PatternGrouping grouping;
@@ -57,19 +295,39 @@ Status UpdatePatternGrouping(const Dataset& dataset,
     return Status::InvalidArgument("pattern grouping ahead of dataset");
   }
   const size_t old_m = grouping->num_triples;
+  const size_t tail = m - old_m;
+  // The appended tail is read word-parallel when it is large enough to
+  // amortize the per-cluster mask context (the scoped context costs
+  // O(num_domains x k)); small batches stay on the scalar path. Both paths
+  // produce identical keys.
+  const bool word_tail =
+      tail >= 256 && (!model.use_scopes || tail * 4 >= dataset.num_domains());
+  std::vector<PatternKey> tail_keys;
   for (size_t c = 0; c < grouping->num_clusters(); ++c) {
     auto& index = grouping->index[c];
     auto& distinct = grouping->distinct[c];
     auto& pattern_of = grouping->pattern_of[c];
     pattern_of.resize(m);
-    auto assign = [&](TripleId t) {
-      ClusterObservation obs = GetClusterObservation(dataset, model, c, t);
-      PatternKey key{obs.providers, obs.in_scope & ~obs.providers};
+    auto assign_key = [&](TripleId t, const PatternKey& key) {
       auto [it, inserted] = index.emplace(key, distinct.size());
       if (inserted) distinct.push_back(key);
       pattern_of[t] = it->second;
     };
-    for (TripleId t = static_cast<TripleId>(old_m); t < m; ++t) assign(t);
+    auto assign = [&](TripleId t) {
+      ClusterObservation obs = GetClusterObservation(dataset, model, c, t);
+      assign_key(t, PatternKey{obs.providers, obs.in_scope & ~obs.providers});
+    };
+    if (word_tail) {
+      const ClusterMaskContext ctx = MakeClusterMaskContext(dataset, model, c);
+      tail_keys.resize(tail);
+      ExtractPatternKeys(dataset, ctx, static_cast<TripleId>(old_m),
+                         static_cast<TripleId>(m), tail_keys.data());
+      for (size_t j = 0; j < tail; ++j) {
+        assign_key(static_cast<TripleId>(old_m + j), tail_keys[j]);
+      }
+    } else {
+      for (TripleId t = static_cast<TripleId>(old_m); t < m; ++t) assign(t);
+    }
     for (TripleId t : changed_existing) {
       if (t >= old_m) continue;  // appended above with current masks
       assign(t);
@@ -96,9 +354,11 @@ uint64_t ModelGroupingFingerprint(const CorrelationModel& model) {
 
 StatusOr<const PatternGrouping*> GetOrBuildGrouping(
     const Dataset& dataset, const CorrelationModel& model,
-    const PatternGrouping* provided, PatternGrouping* local) {
+    const PatternGrouping* provided, PatternGrouping* local,
+    size_t num_threads, ThreadPool* pool) {
   if (provided == nullptr) {
-    FUSER_ASSIGN_OR_RETURN(*local, BuildPatternGrouping(dataset, model));
+    FUSER_ASSIGN_OR_RETURN(
+        *local, BuildPatternGrouping(dataset, model, num_threads, pool));
     return static_cast<const PatternGrouping*>(local);
   }
   if (provided->dataset != &dataset ||
@@ -112,43 +372,184 @@ StatusOr<const PatternGrouping*> GetOrBuildGrouping(
 
 StatusOr<std::vector<std::vector<PatternLikelihood>>> ScorePatterns(
     const PatternGrouping& grouping, size_t num_threads,
-    const PatternScorer& scorer) {
+    const PatternScorer& scorer, const ClusterBatchScorer& batch,
+    ThreadPool* pool) {
   const size_t num_clusters = grouping.num_clusters();
   std::vector<std::vector<PatternLikelihood>> likelihood(num_clusters);
-  // Flatten (cluster, pattern) pairs into one work list so small clusters
-  // do not serialize behind large ones.
-  std::vector<std::pair<size_t, size_t>> work;
-  work.reserve(grouping.TotalDistinct());
   for (size_t c = 0; c < num_clusters; ++c) {
     likelihood[c].assign(grouping.distinct[c].size(), PatternLikelihood{});
-    for (size_t i = 0; i < grouping.distinct[c].size(); ++i) {
-      work.emplace_back(c, i);
-    }
   }
 
   Status first_error;
   std::mutex error_mu;
-  ParallelFor(work.size(), num_threads, [&](size_t w) {
-    const auto& [c, i] = work[w];
-    double given_true = 0.0;
-    double given_false = 0.0;
-    Status s =
-        scorer(c, grouping.distinct[c][i], &given_true, &given_false);
-    if (!s.ok()) {
-      std::lock_guard<std::mutex> lock(error_mu);
-      if (first_error.ok()) first_error = s;
-      return;
+  std::atomic<bool> cancel{false};
+  auto record_error = [&](const Status& s) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error.ok()) first_error = s;
+    cancel.store(true, std::memory_order_relaxed);
+  };
+
+  // Whole-cluster batched scoring first (parallel across clusters); any
+  // cluster the batch scorer declines falls through to the per-pattern
+  // work list below.
+  std::vector<char> handled(num_clusters, 0);
+  if (batch != nullptr) {
+    ParallelFor(
+        num_clusters, num_threads,
+        [&](size_t c) {
+          StatusOr<bool> done = batch(c, grouping.distinct[c], &likelihood[c]);
+          if (!done.ok()) {
+            record_error(done.status());
+            return;
+          }
+          if (!*done) return;
+          handled[c] = 1;
+          for (PatternLikelihood& like : likelihood[c]) {
+            like.given_true = std::max(like.given_true, 0.0);
+            like.given_false = std::max(like.given_false, 0.0);
+          }
+        },
+        ParallelForOptions{pool, &cancel});
+    if (!first_error.ok()) return first_error;
+  }
+
+  // Flatten remaining (cluster, pattern) pairs into one work list so small
+  // clusters do not serialize behind large ones.
+  std::vector<std::pair<size_t, size_t>> work;
+  for (size_t c = 0; c < num_clusters; ++c) {
+    if (handled[c]) continue;
+    for (size_t i = 0; i < grouping.distinct[c].size(); ++i) {
+      work.emplace_back(c, i);
     }
-    likelihood[c][i].given_true = std::max(given_true, 0.0);
-    likelihood[c][i].given_false = std::max(given_false, 0.0);
-  });
+  }
+  ParallelFor(
+      work.size(), num_threads,
+      [&](size_t w) {
+        const auto& [c, i] = work[w];
+        double given_true = 0.0;
+        double given_false = 0.0;
+        Status s =
+            scorer(c, grouping.distinct[c][i], &given_true, &given_false);
+        if (!s.ok()) {
+          record_error(s);
+          return;
+        }
+        likelihood[c][i].given_true = std::max(given_true, 0.0);
+        likelihood[c][i].given_false = std::max(given_false, 0.0);
+      },
+      ParallelForOptions{pool, &cancel});
   if (!first_error.ok()) {
     return first_error;
   }
   return likelihood;
 }
 
+namespace {
+
+/// Per-pattern log-likelihoods with zero flags, precomputed once per
+/// cluster so the per-triple combine loop never calls std::log.
+struct ClusterLogLikelihood {
+  std::vector<double> log_true;
+  std::vector<double> log_false;
+  std::vector<unsigned char> flags;  // bit 0: given_true <= 0, bit 1: <= 0
+};
+
+}  // namespace
+
 std::vector<double> CombinePatternScores(
+    const PatternGrouping& grouping,
+    const std::vector<std::vector<PatternLikelihood>>& likelihood,
+    double alpha, size_t num_threads, ThreadPool* pool) {
+  const size_t num_clusters = grouping.num_clusters();
+  std::vector<double> scores(grouping.num_triples);
+  if (grouping.num_triples == 0) return scores;
+
+  if (num_clusters == 1) {
+    // One cluster: a triple's posterior is a function of its distinct
+    // pattern alone, so compute one posterior per pattern and gather.
+    const std::vector<PatternLikelihood>& likes = likelihood[0];
+    std::vector<double> posterior(likes.size());
+    for (size_t i = 0; i < likes.size(); ++i) {
+      const PatternLikelihood& like = likes[i];
+      const bool num_zero = like.given_true <= 0.0;
+      const bool den_zero = like.given_false <= 0.0;
+      if (num_zero && den_zero) {
+        posterior[i] = alpha;  // observation impossible either way
+      } else if (num_zero) {
+        posterior[i] = 0.0;
+      } else if (den_zero) {
+        posterior[i] = 1.0;
+      } else {
+        posterior[i] = PosteriorFromLogMu(
+            std::log(like.given_true) - std::log(like.given_false), alpha);
+      }
+    }
+    const std::vector<size_t>& pattern_of = grouping.pattern_of[0];
+    ParallelFor(
+        grouping.num_triples, num_threads,
+        [&](size_t t) { scores[t] = posterior[pattern_of[t]]; },
+        ParallelForOptions{pool, nullptr});
+    return scores;
+  }
+
+  std::vector<ClusterLogLikelihood> logs(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    const std::vector<PatternLikelihood>& likes = likelihood[c];
+    logs[c].log_true.resize(likes.size());
+    logs[c].log_false.resize(likes.size());
+    logs[c].flags.resize(likes.size());
+    for (size_t i = 0; i < likes.size(); ++i) {
+      const PatternLikelihood& like = likes[i];
+      unsigned char flag = 0;
+      if (like.given_true <= 0.0) {
+        flag |= 1;
+      } else {
+        logs[c].log_true[i] = std::log(like.given_true);
+      }
+      if (like.given_false <= 0.0) {
+        flag |= 2;
+      } else {
+        logs[c].log_false[i] = std::log(like.given_false);
+      }
+      logs[c].flags[i] = flag;
+    }
+  }
+  ParallelFor(
+      grouping.num_triples, num_threads,
+      [&](size_t t) {
+        double log_num = 0.0;
+        double log_den = 0.0;
+        bool num_zero = false;
+        bool den_zero = false;
+        for (size_t c = 0; c < num_clusters; ++c) {
+          const size_t i = grouping.pattern_of[c][t];
+          const unsigned char flag = logs[c].flags[i];
+          if (flag & 1) {
+            num_zero = true;
+          } else {
+            log_num += logs[c].log_true[i];
+          }
+          if (flag & 2) {
+            den_zero = true;
+          } else {
+            log_den += logs[c].log_false[i];
+          }
+        }
+        if (num_zero && den_zero) {
+          scores[t] = alpha;  // observation impossible either way
+        } else if (num_zero) {
+          scores[t] = 0.0;
+        } else if (den_zero) {
+          scores[t] = 1.0;
+        } else {
+          scores[t] = PosteriorFromLogMu(log_num - log_den, alpha);
+        }
+      },
+      ParallelForOptions{pool, nullptr});
+  return scores;
+}
+
+std::vector<double> CombinePatternScoresReference(
     const PatternGrouping& grouping,
     const std::vector<std::vector<PatternLikelihood>>& likelihood,
     double alpha) {

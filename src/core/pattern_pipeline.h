@@ -29,6 +29,8 @@
 
 namespace fuser {
 
+class ThreadPool;
+
 /// One distinct per-cluster observation pattern: the cluster members that
 /// provide the triple and the in-scope members that do not.
 struct PatternKey {
@@ -79,8 +81,26 @@ struct PatternGrouping {
 /// Groups every triple of `dataset` by its per-cluster observation pattern.
 /// O(num_clusters * num_triples); the result depends only on the dataset
 /// and the model's clustering/scopes, so it is shared across methods.
+///
+/// Word-parallel: each cluster source's provider bitset is read 64 triples
+/// at a time and turned into per-triple provider masks by a bit-matrix
+/// transpose (Transpose64x64); scope masks come from one per-domain mask
+/// lookup. The triple range is processed in blocks parallelized across
+/// `num_threads` workers (0 = hardware concurrency; `pool` optionally
+/// supplies persistent workers), with per-worker local pattern indexes
+/// merged in block order — the output (including the order of `distinct`)
+/// is byte-identical to BuildPatternGroupingScalar at every thread count.
 StatusOr<PatternGrouping> BuildPatternGrouping(const Dataset& dataset,
-                                               const CorrelationModel& model);
+                                               const CorrelationModel& model,
+                                               size_t num_threads = 1,
+                                               ThreadPool* pool = nullptr);
+
+/// The retained scalar reference implementation: one GetClusterObservation
+/// + hash-emplace per (cluster, triple). Kept as the oracle for the
+/// word-parallel path (property tests assert byte-identical output) and as
+/// the pre-optimization baseline for bench_inference.
+StatusOr<PatternGrouping> BuildPatternGroupingScalar(
+    const Dataset& dataset, const CorrelationModel& model);
 
 /// Fingerprint of the parts of `model` the grouping depends on (cluster
 /// memberships and the scope setting). Groupings carry the fingerprint of
@@ -105,14 +125,16 @@ Status UpdatePatternGrouping(const Dataset& dataset,
 
 /// Common method preamble: returns `provided` after validating its triple
 /// count and model fingerprint, or — when `provided` is nullptr — builds
-/// the grouping into `*local` and returns that. Callers own `*local` only
-/// so the result can outlive this call. A non-null `provided` must come
-/// from BuildPatternGrouping over this same dataset and model (the
-/// engine's cache does); a grouping from a different clustering or scope
-/// setting is rejected with InvalidArgument.
+/// the grouping into `*local` (across `num_threads` workers, optionally on
+/// `pool`) and returns that. Callers own `*local` only so the result can
+/// outlive this call. A non-null `provided` must come from
+/// BuildPatternGrouping over this same dataset and model (the engine's
+/// cache does); a grouping from a different clustering or scope setting is
+/// rejected with InvalidArgument.
 StatusOr<const PatternGrouping*> GetOrBuildGrouping(
     const Dataset& dataset, const CorrelationModel& model,
-    const PatternGrouping* provided, PatternGrouping* local);
+    const PatternGrouping* provided, PatternGrouping* local,
+    size_t num_threads = 1, ThreadPool* pool = nullptr);
 
 /// Per-pattern likelihood pair: Pr(pattern | triple true) and
 /// Pr(pattern | triple false) — or a method's approximation thereof.
@@ -129,20 +151,47 @@ using PatternScorer =
     std::function<Status(size_t cluster, const PatternKey& key,
                          double* given_true, double* given_false)>;
 
-/// Scores every distinct pattern of every cluster exactly once, running
-/// `scorer` in parallel over the flattened (cluster, pattern) work list.
-/// Returns likelihoods parallel to grouping.distinct; the first scorer
-/// error aborts the whole computation.
+/// Optional batched scorer: computes the likelihoods of ALL of one
+/// cluster's distinct patterns in one call (out is pre-sized to
+/// keys.size()). Returns false when the cluster has no batched path — its
+/// patterns then fall back to the per-pattern scorer. Must be safe to call
+/// concurrently for distinct clusters.
+using ClusterBatchScorer = std::function<StatusOr<bool>(
+    size_t cluster, const std::vector<PatternKey>& keys,
+    std::vector<PatternLikelihood>* out)>;
+
+/// Scores every distinct pattern of every cluster exactly once. Clusters
+/// the `batch` scorer claims are computed whole (one pass per cluster,
+/// parallel across clusters); the rest run `scorer` in parallel over the
+/// flattened (cluster, pattern) work list. The first error cancels all
+/// outstanding work (workers stop claiming patterns) and aborts the whole
+/// computation. `pool` optionally supplies persistent workers.
 StatusOr<std::vector<std::vector<PatternLikelihood>>> ScorePatterns(
     const PatternGrouping& grouping, size_t num_threads,
-    const PatternScorer& scorer);
+    const PatternScorer& scorer, const ClusterBatchScorer& batch = nullptr,
+    ThreadPool* pool = nullptr);
 
 /// Combines per-cluster pattern likelihoods into per-triple posteriors:
 /// log-likelihoods add across clusters and the posterior follows from the
 /// prior `alpha`. Zero likelihoods short-circuit (impossible under one
 /// hypothesis forces the posterior to 0/1; impossible under both falls
 /// back to the prior).
+///
+/// Per-distinct-pattern log-likelihoods are computed once per cluster, so
+/// the per-triple loop is an add-only gather parallelized across
+/// `num_threads` workers (with one cluster it collapses further: one
+/// posterior per distinct pattern, then a table gather). Output is
+/// byte-identical to CombinePatternScoresReference at every thread count.
 std::vector<double> CombinePatternScores(
+    const PatternGrouping& grouping,
+    const std::vector<std::vector<PatternLikelihood>>& likelihood,
+    double alpha, size_t num_threads = 1, ThreadPool* pool = nullptr);
+
+/// The retained reference implementation of CombinePatternScores: the
+/// serial per-triple loop with 2 x num_clusters std::log calls per triple.
+/// Oracle for byte-identity tests and the pre-optimization baseline for
+/// bench_inference.
+std::vector<double> CombinePatternScoresReference(
     const PatternGrouping& grouping,
     const std::vector<std::vector<PatternLikelihood>>& likelihood,
     double alpha);

@@ -30,7 +30,8 @@ Status TermSummationLikelihood(const JointStatsProvider& stats,
 
 StatusOr<std::vector<double>> PrecRecCorrScores(
     const Dataset& dataset, const CorrelationModel& model,
-    const PrecRecCorrOptions& options, const PatternGrouping* grouping) {
+    const PrecRecCorrOptions& options, const PatternGrouping* grouping,
+    ThreadPool* pool) {
   if (!dataset.finalized()) {
     return Status::FailedPrecondition("dataset not finalized");
   }
@@ -38,8 +39,9 @@ StatusOr<std::vector<double>> PrecRecCorrScores(
     return Status::InvalidArgument("model cluster_stats/clusters mismatch");
   }
   PatternGrouping local;
-  FUSER_ASSIGN_OR_RETURN(grouping,
-                         GetOrBuildGrouping(dataset, model, grouping, &local));
+  FUSER_ASSIGN_OR_RETURN(
+      grouping, GetOrBuildGrouping(dataset, model, grouping, &local,
+                                   options.num_threads, pool));
   const size_t num_clusters = model.clustering.clusters.size();
 
   // Pick the evaluation strategy per cluster, once.
@@ -54,7 +56,26 @@ StatusOr<std::vector<double>> PrecRecCorrScores(
         stats.SupportsExactLikelihood() && !options.force_term_summation;
   }
 
-  // Score each distinct pattern once (parallel across patterns).
+  // Clusters on a direct strategy score all their distinct patterns in one
+  // batched pass (no per-query memo mutexes, no repeated training-pattern
+  // rescans); the per-pattern scorer remains for term summation.
+  auto batch = [&](size_t c, const std::vector<PatternKey>& keys,
+                   std::vector<PatternLikelihood>* out) -> StatusOr<bool> {
+    if (!use_calibrated[c] && !use_direct[c]) return false;
+    std::vector<PatternQuery> queries(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      queries[i] = {keys[i].providers, keys[i].nonproviders};
+    }
+    std::vector<std::pair<double, double>> pairs;
+    FUSER_RETURN_IF_ERROR(model.cluster_stats[c]->ScoreAllPatterns(
+        queries, /*calibrated=*/use_calibrated[c] != 0, &pairs));
+    for (size_t i = 0; i < keys.size(); ++i) {
+      (*out)[i].given_true = pairs[i].first;
+      (*out)[i].given_false = pairs[i].second;
+    }
+    return true;
+  };
+  // Per-pattern fallback (explicit or smoothed statistics).
   auto scorer = [&](size_t c, const PatternKey& key, double* given_true,
                     double* given_false) -> Status {
     const JointStatsProvider& stats = *model.cluster_stats[c];
@@ -77,7 +98,7 @@ StatusOr<std::vector<double>> PrecRecCorrScores(
   };
   FUSER_ASSIGN_OR_RETURN(
       std::vector<std::vector<PatternLikelihood>> likelihood,
-      ScorePatterns(*grouping, options.num_threads, scorer));
+      ScorePatterns(*grouping, options.num_threads, scorer, batch, pool));
 
   // Combine across clusters: likelihoods multiply (cluster independence).
   // With calibrated (natural) likelihoods, the prior must be the empirical
@@ -91,7 +112,8 @@ StatusOr<std::vector<double>> PrecRecCorrScores(
       break;
     }
   }
-  return CombinePatternScores(*grouping, likelihood, alpha);
+  return CombinePatternScores(*grouping, likelihood, alpha,
+                              options.num_threads, pool);
 }
 
 }  // namespace fuser

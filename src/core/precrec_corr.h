@@ -31,6 +31,8 @@
 
 namespace fuser {
 
+class ThreadPool;
+
 struct PrecRecCorrOptions {
   /// Refuse term summation beyond this many non-providers in one cluster
   /// (2^|N| terms). The direct strategy has no such limit.
@@ -55,11 +57,18 @@ struct PrecRecCorrOptions {
 /// correlation model. `grouping` optionally supplies a prebuilt pattern
 /// grouping for (dataset, model) — the engine passes its cached one so
 /// many methods share a single grouping pass; with nullptr the grouping is
-/// built locally.
+/// built locally. `pool` optionally supplies persistent worker threads
+/// (the engine passes its own so repeated runs skip thread creation).
+///
+/// Clusters whose statistics support the direct strategies are scored
+/// through the batched JointStatsProvider::ScoreAllPatterns path — all of
+/// a cluster's distinct patterns in one pass over the training patterns —
+/// with per-pattern scoring (and its term-summation fallback) kept for
+/// explicit or smoothed statistics.
 StatusOr<std::vector<double>> PrecRecCorrScores(
     const Dataset& dataset, const CorrelationModel& model,
     const PrecRecCorrOptions& options,
-    const PatternGrouping* grouping = nullptr);
+    const PatternGrouping* grouping = nullptr, ThreadPool* pool = nullptr);
 
 /// Computes the per-cluster likelihood pair for observation (P, N) by the
 /// literal inclusion-exclusion sum. Exposed for tests and for the worked

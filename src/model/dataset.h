@@ -179,6 +179,12 @@ class Dataset {
     return source_covers_domain_[s].Test(domains_[t]);
   }
 
+  /// Whether `s` provides any triple of domain `d` (the scope relation,
+  /// keyed by domain instead of by triple). Valid after Finalize().
+  bool covers_domain(SourceId s, DomainId d) const {
+    return source_covers_domain_[s].Test(d);
+  }
+
   /// Number of triples a source provides.
   size_t output_size(SourceId s) const { return outputs_[s].Count(); }
 

@@ -1,0 +1,383 @@
+// Tests for the word-parallel inference hot path: the 64x64 bit-matrix
+// transpose primitive, chunked ParallelFor dispatch (+ cancellation +
+// pool execution), byte-identity of the word-parallel BuildPatternGrouping
+// against the retained scalar reference across ragged triple counts,
+// scopes, clustering, and thread counts, byte-identity of the batched
+// ScoreAllPatterns path against per-query likelihood calls, and
+// byte-identity of end-to-end RunAll scores against the legacy
+// (per-pattern scorer + reference combine) pipeline.
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "core/engine.h"
+#include "core/pattern_pipeline.h"
+#include "core/precrec_corr.h"
+#include "gtest/gtest.h"
+#include "synth/generator.h"
+
+namespace fuser {
+namespace {
+
+// ---------- Transpose primitive ----------
+
+TEST(TransposeTest, MatchesNaiveBitTranspose) {
+  Rng rng(7);
+  for (int round = 0; round < 10; ++round) {
+    uint64_t m[64];
+    for (auto& w : m) w = rng.NextUint64();
+    uint64_t original[64];
+    for (int i = 0; i < 64; ++i) original[i] = m[i];
+    Transpose64x64(m);
+    for (int i = 0; i < 64; ++i) {
+      for (int j = 0; j < 64; ++j) {
+        ASSERT_EQ((m[i] >> j) & 1, (original[j] >> i) & 1)
+            << "round " << round << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(TransposeTest, TransposeIsAnInvolution) {
+  Rng rng(11);
+  uint64_t m[64];
+  for (auto& w : m) w = rng.NextUint64();
+  uint64_t original[64];
+  for (int i = 0; i < 64; ++i) original[i] = m[i];
+  Transpose64x64(m);
+  Transpose64x64(m);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(m[i], original[i]);
+}
+
+TEST(TransposeTest, BitColumnsHandlesPartialRowCounts) {
+  Rng rng(13);
+  for (size_t k : {size_t{0}, size_t{1}, size_t{3}, size_t{8}, size_t{64}}) {
+    std::vector<uint64_t> rows(k);
+    for (auto& w : rows) w = rng.NextUint64();
+    uint64_t cols[64];
+    TransposeBitColumns(rows.data(), k, cols);
+    for (size_t j = 0; j < 64; ++j) {
+      Mask expected = 0;
+      for (size_t i = 0; i < k; ++i) {
+        if ((rows[i] >> j) & 1) expected = WithBit(expected, static_cast<int>(i));
+      }
+      ASSERT_EQ(cols[j], expected) << "k=" << k << " j=" << j;
+    }
+  }
+}
+
+// ---------- Chunked ParallelFor ----------
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (size_t num_threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    for (size_t count : {size_t{1}, size_t{7}, size_t{64}, size_t{1000}}) {
+      std::vector<std::atomic<int>> visits(count);
+      for (auto& v : visits) v.store(0);
+      ParallelFor(count, num_threads,
+                  [&](size_t i) { visits[i].fetch_add(1); });
+      for (size_t i = 0; i < count; ++i) {
+        ASSERT_EQ(visits[i].load(), 1) << "threads=" << num_threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, RunsOnPersistentPool) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(513);
+  for (auto& v : visits) v.store(0);
+  ParallelForOptions options;
+  options.pool = &pool;
+  ParallelFor(visits.size(), 4, [&](size_t i) { visits[i].fetch_add(1); },
+              options);
+  for (size_t i = 0; i < visits.size(); ++i) {
+    ASSERT_EQ(visits[i].load(), 1);
+  }
+  // The pool survives and can run a second section (persistent workers).
+  std::atomic<size_t> total{0};
+  ParallelFor(100, 4, [&](size_t i) { total.fetch_add(i); }, options);
+  EXPECT_EQ(total.load(), 4950u);
+}
+
+TEST(ParallelForTest, CancellationStopsSchedulingWork) {
+  std::atomic<bool> cancel{false};
+  std::atomic<size_t> processed{0};
+  ParallelForOptions options;
+  options.cancel = &cancel;
+  // Cancel after the first item: with chunked dispatch the workers may
+  // finish in-flight items, but most of the 100k-item range must be
+  // skipped.
+  ParallelFor(
+      100000, 2,
+      [&](size_t) {
+        processed.fetch_add(1);
+        cancel.store(true);
+      },
+      options);
+  EXPECT_LT(processed.load(), 100000u);
+  // Already-set cancellation skips the whole range.
+  size_t before = processed.load();
+  ParallelFor(
+      100000, 2, [&](size_t) { processed.fetch_add(1); }, options);
+  EXPECT_EQ(processed.load(), before);
+}
+
+// ---------- Word-parallel grouping vs scalar reference ----------
+
+Dataset MakeDataset(size_t num_sources, size_t num_triples, size_t num_domains,
+                    uint64_t seed) {
+  SyntheticConfig config = MakeIndependentConfig(
+      num_sources, num_triples, /*fraction_true=*/0.4, /*precision=*/0.7,
+      /*recall=*/0.45, seed);
+  config.num_domains = num_domains;
+  auto dataset = GenerateSynthetic(config);
+  EXPECT_TRUE(dataset.ok()) << dataset.status();
+  return std::move(*dataset);
+}
+
+void ExpectGroupingsIdentical(const PatternGrouping& got,
+                              const PatternGrouping& want) {
+  ASSERT_EQ(got.num_triples, want.num_triples);
+  ASSERT_EQ(got.num_clusters(), want.num_clusters());
+  for (size_t c = 0; c < want.num_clusters(); ++c) {
+    ASSERT_EQ(got.distinct[c].size(), want.distinct[c].size()) << "c=" << c;
+    for (size_t i = 0; i < want.distinct[c].size(); ++i) {
+      ASSERT_EQ(got.distinct[c][i].providers, want.distinct[c][i].providers);
+      ASSERT_EQ(got.distinct[c][i].nonproviders,
+                want.distinct[c][i].nonproviders);
+    }
+    ASSERT_EQ(got.pattern_of[c], want.pattern_of[c]) << "c=" << c;
+    ASSERT_EQ(got.index[c], want.index[c]) << "c=" << c;
+  }
+}
+
+TEST(WordParallelGroupingTest, ByteIdenticalToScalarReference) {
+  ThreadPool pool(8);
+  // Ragged triple counts (m % 64 != 0), tiny datasets, scopes on/off,
+  // clustering on/off, thread counts 1/2/8, with and without a pool.
+  for (size_t num_triples : {size_t{40}, size_t{130}, size_t{5000}}) {
+    for (bool use_scopes : {false, true}) {
+      for (bool clustering : {false, true}) {
+        Dataset dataset = MakeDataset(/*num_sources=*/9, num_triples,
+                                      /*num_domains=*/use_scopes ? 13 : 0,
+                                      /*seed=*/num_triples + use_scopes);
+        ModelOptions options;
+        options.use_scopes = use_scopes;
+        options.enable_clustering = clustering;
+        auto model =
+            BuildCorrelationModel(dataset, dataset.labeled_mask(), options);
+        ASSERT_TRUE(model.ok()) << model.status();
+        SCOPED_TRACE(::testing::Message()
+                     << "m=" << dataset.num_triples()
+                     << " scopes=" << use_scopes << " clustering="
+                     << clustering);
+
+        auto scalar = BuildPatternGroupingScalar(dataset, *model);
+        ASSERT_TRUE(scalar.ok()) << scalar.status();
+        for (size_t num_threads : {size_t{1}, size_t{2}, size_t{8}}) {
+          auto word =
+              BuildPatternGrouping(dataset, *model, num_threads, nullptr);
+          ASSERT_TRUE(word.ok()) << word.status();
+          ExpectGroupingsIdentical(*word, *scalar);
+          auto pooled =
+              BuildPatternGrouping(dataset, *model, num_threads, &pool);
+          ASSERT_TRUE(pooled.ok()) << pooled.status();
+          ExpectGroupingsIdentical(*pooled, *scalar);
+        }
+      }
+    }
+  }
+}
+
+TEST(WordParallelGroupingTest, HandlesEmptyAndSilentClusters) {
+  Dataset dataset = MakeDataset(/*num_sources=*/4, /*num_triples=*/100,
+                                /*num_domains=*/0, /*seed=*/3);
+  // Hand-built model: a real cluster, an empty cluster, and a singleton —
+  // the empty cluster maps every triple to the all-zero pattern.
+  CorrelationModel model;
+  model.alpha = 0.5;
+  model.use_scopes = false;
+  model.clustering.clusters = {{0, 1, 2}, {}, {3}};
+  model.clustering.cluster_of = {0, 0, 0, 2};
+  model.clustering.index_in_cluster = {0, 1, 2, 0};
+  model.cluster_stats.push_back(std::make_unique<ExplicitJointStats>(
+      std::vector<JointQuality>(3, JointQuality{0.7, 0.5, 0.1}), 0.5));
+  model.cluster_stats.push_back(std::make_unique<ExplicitJointStats>(
+      std::vector<JointQuality>{}, 0.5));
+  model.cluster_stats.push_back(std::make_unique<ExplicitJointStats>(
+      std::vector<JointQuality>(1, JointQuality{0.7, 0.5, 0.1}), 0.5));
+
+  auto scalar = BuildPatternGroupingScalar(dataset, model);
+  ASSERT_TRUE(scalar.ok()) << scalar.status();
+  ASSERT_EQ(scalar->distinct[1].size(), 1u);
+  EXPECT_EQ(scalar->distinct[1][0].providers, 0u);
+  EXPECT_EQ(scalar->distinct[1][0].nonproviders, 0u);
+  for (size_t num_threads : {size_t{1}, size_t{8}}) {
+    auto word = BuildPatternGrouping(dataset, model, num_threads, nullptr);
+    ASSERT_TRUE(word.ok()) << word.status();
+    ExpectGroupingsIdentical(*word, *scalar);
+  }
+}
+
+// ---------- Batched likelihoods vs per-query ----------
+
+TEST(ScoreAllPatternsTest, ByteIdenticalToPerQueryLikelihoods) {
+  for (bool use_scopes : {false, true}) {
+    Dataset dataset = MakeDataset(/*num_sources=*/6, /*num_triples=*/400,
+                                  /*num_domains=*/use_scopes ? 11 : 0,
+                                  /*seed=*/17 + use_scopes);
+    std::vector<SourceId> all(dataset.num_sources());
+    for (SourceId s = 0; s < dataset.num_sources(); ++s) all[s] = s;
+    JointStatsOptions options;
+    options.use_scopes = use_scopes;
+    auto stats = EmpiricalJointStats::Create(dataset, dataset.labeled_mask(),
+                                             all, options);
+    ASSERT_TRUE(stats.ok()) << stats.status();
+
+    // Every disjoint (providers, nonproviders) pair over 6 sources.
+    std::vector<PatternQuery> queries;
+    const Mask full = FullMask(6);
+    for (Mask prov = 0; prov <= full; ++prov) {
+      ForEachSubmask(full & ~prov, [&](Mask nonprov) {
+        queries.push_back({prov, nonprov});
+      });
+    }
+    for (bool calibrated : {false, true}) {
+      SCOPED_TRACE(::testing::Message() << "scopes=" << use_scopes
+                                        << " calibrated=" << calibrated);
+      std::vector<std::pair<double, double>> batched;
+      ASSERT_TRUE(
+          (*stats)->ScoreAllPatterns(queries, calibrated, &batched).ok());
+      ASSERT_EQ(batched.size(), queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        double pt = 0.0;
+        double pf = 0.0;
+        Status s = calibrated
+                       ? (*stats)->CalibratedPatternLikelihood(
+                             queries[i].providers, queries[i].nonproviders,
+                             &pt, &pf)
+                       : (*stats)->ExactPatternLikelihood(
+                             queries[i].providers, queries[i].nonproviders,
+                             &pt, &pf);
+        ASSERT_TRUE(s.ok()) << s;
+        ASSERT_EQ(batched[i].first, pt) << "query " << i;
+        ASSERT_EQ(batched[i].second, pf) << "query " << i;
+      }
+    }
+  }
+}
+
+TEST(ScoreAllPatternsTest, RejectsOverlappingMasks) {
+  Dataset dataset = MakeDataset(4, 50, 0, 23);
+  std::vector<SourceId> all = {0, 1, 2, 3};
+  auto stats = EmpiricalJointStats::Create(dataset, dataset.labeled_mask(),
+                                           all, {});
+  ASSERT_TRUE(stats.ok());
+  std::vector<std::pair<double, double>> out;
+  EXPECT_EQ((*stats)
+                ->ScoreAllPatterns({{0x3, 0x1}}, /*calibrated=*/true, &out)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------- End-to-end byte-identity ----------
+
+/// The pre-optimization scoring pipeline, composed from the retained
+/// reference pieces: scalar grouping, per-pattern likelihood calls (no
+/// batching), serial reference combine. This is what PrecRecCorrScores
+/// did before the word-parallel hot path landed.
+std::vector<double> LegacyPrecRecCorrScores(const Dataset& dataset,
+                                            const CorrelationModel& model) {
+  auto grouping = BuildPatternGroupingScalar(dataset, model);
+  EXPECT_TRUE(grouping.ok()) << grouping.status();
+  auto scorer = [&](size_t c, const PatternKey& key, double* given_true,
+                    double* given_false) -> Status {
+    return model.cluster_stats[c]->CalibratedPatternLikelihood(
+        key.providers, key.nonproviders, given_true, given_false);
+  };
+  auto likelihood = ScorePatterns(*grouping, /*num_threads=*/1, scorer);
+  EXPECT_TRUE(likelihood.ok()) << likelihood.status();
+  const double alpha = model.cluster_stats[0]->EmpiricalPriorTrue();
+  return CombinePatternScoresReference(*grouping, *likelihood, alpha);
+}
+
+TEST(EndToEndByteIdentityTest, RunAllMatchesLegacyPipelineAtEveryThreadCount) {
+  for (bool use_scopes : {false, true}) {
+    Dataset dataset = MakeDataset(/*num_sources=*/8, /*num_triples=*/3000,
+                                  /*num_domains=*/use_scopes ? 9 : 0,
+                                  /*seed=*/31 + use_scopes);
+    std::vector<std::vector<double>> per_thread_scores;
+    std::vector<std::vector<double>> per_thread_elastic;
+    for (size_t num_threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      EngineOptions options;
+      options.model.use_scopes = use_scopes;
+      options.num_threads = num_threads;
+      FusionEngine engine(&dataset, options);
+      ASSERT_TRUE(engine.Prepare(dataset.labeled_mask()).ok());
+      auto runs = engine.RunAll(
+          {{MethodKind::kPrecRecCorr}, {MethodKind::kElastic, 50.0, 2}});
+      ASSERT_TRUE(runs.ok()) << runs.status();
+      per_thread_scores.push_back((*runs)[0].scores);
+      per_thread_elastic.push_back((*runs)[1].scores);
+
+      const CorrelationModel* model = *engine.GetModel();
+      std::vector<double> legacy = LegacyPrecRecCorrScores(dataset, *model);
+      ASSERT_EQ((*runs)[0].scores, legacy)
+          << "threads=" << num_threads << " scopes=" << use_scopes;
+    }
+    // Identical across thread counts, for both the batched (precrec-corr)
+    // and the per-pattern (elastic) scoring paths.
+    for (size_t i = 1; i < per_thread_scores.size(); ++i) {
+      ASSERT_EQ(per_thread_scores[i], per_thread_scores[0]);
+      ASSERT_EQ(per_thread_elastic[i], per_thread_elastic[0]);
+    }
+  }
+}
+
+TEST(EndToEndByteIdentityTest, TablelessPathIsThreadCountInvariant) {
+  // sos_table_max_bits = 0 forces the no-SoS-table path: term-summation
+  // scorers hit the sharded counts memo from every worker.
+  Dataset dataset = MakeDataset(/*num_sources=*/8, /*num_triples=*/1000,
+                                /*num_domains=*/0, /*seed=*/41);
+  std::vector<std::vector<double>> scores;
+  for (size_t num_threads : {size_t{1}, size_t{8}}) {
+    EngineOptions options;
+    options.num_threads = num_threads;
+    options.model.sos_table_max_bits = 0;
+    options.corr.force_term_summation = true;
+    FusionEngine engine(&dataset, options);
+    ASSERT_TRUE(engine.Prepare(dataset.labeled_mask()).ok());
+    auto run = engine.Run({MethodKind::kPrecRecCorr});
+    ASSERT_TRUE(run.ok()) << run.status();
+    scores.push_back(run->scores);
+  }
+  ASSERT_EQ(scores[0], scores[1]);
+}
+
+TEST(EndToEndByteIdentityTest, ScorePatternsPropagatesFirstError) {
+  Dataset dataset = MakeDataset(4, 200, 0, 43);
+  ModelOptions options;
+  auto model = BuildCorrelationModel(dataset, dataset.labeled_mask(), options);
+  ASSERT_TRUE(model.ok());
+  auto grouping = BuildPatternGrouping(dataset, *model);
+  ASSERT_TRUE(grouping.ok());
+  std::atomic<size_t> calls{0};
+  auto scorer = [&](size_t, const PatternKey&, double*, double*) -> Status {
+    calls.fetch_add(1);
+    return Status::Internal("boom");
+  };
+  auto result = ScorePatterns(*grouping, /*num_threads=*/4, scorer);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  // Cancellation kicked in: nowhere near all patterns were scored... the
+  // grouping is small, so just assert the call count never exceeded the
+  // total pattern count (every worker stopped claiming after the error).
+  EXPECT_LE(calls.load(), grouping->TotalDistinct());
+}
+
+}  // namespace
+}  // namespace fuser
