@@ -1,16 +1,22 @@
 // Command-line driver: fuse a TSV observation dump with any method.
 //
 //   fuser_cli <observations.tsv> <gold.tsv> <method> [options]
-//     method:  any method registered in the MethodRegistry (run with no
-//              arguments for the current lineup)
+//     method:  any method registered in the MethodRegistry, or "runall"
+//              (score the full registry lineup over one shared model and
+//              pattern grouping); run with no arguments for the lineup
 //     options: --alpha=0.5 --threshold=0.5 --scopes --cluster
+//              --threads=N (0 = one per hardware thread)
+//              --runall (same as method "runall")
 //              --train-fraction=1.0 --seed=7 --out=fused.tsv
 //
-// Prints evaluation metrics on the gold standard and (optionally) writes
-// per-triple probabilities.
+// Prints evaluation metrics on the gold standard, one machine-parseable
+// JSON summary line (the last stdout line, `{"fuser_cli": ...}`), and
+// (optionally) writes per-triple probabilities.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/csv.h"
 #include "common/string_util.h"
@@ -36,10 +42,17 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s <observations.tsv> <gold.tsv> <method> [--alpha=A]\n"
-      "          [--threshold=T] [--scopes] [--cluster]\n"
-      "          [--train-fraction=F] [--seed=S] [--out=PATH]\n"
-      "  method: %s\n",
+      "          [--threshold=T] [--scopes] [--cluster] [--threads=N]\n"
+      "          [--runall] [--train-fraction=F] [--seed=S] [--out=PATH]\n"
+      "  method: %s | runall\n",
       argv0, MethodLineup().c_str());
+}
+
+/// NaN-safe JSON number (AUCs are NaN on single-class eval masks; JSON has
+/// no NaN literal, so emit null).
+std::string JsonNum(double v) {
+  if (std::isnan(v)) return "null";
+  return fuser::StrFormat("%.6f", v);
 }
 
 }  // namespace
@@ -58,6 +71,7 @@ int main(int argc, char** argv) {
   double train_fraction = 1.0;
   uint64_t seed = 7;
   std::string out_path;
+  bool runall = method == "runall";
   for (int i = 4; i < argc; ++i) {
     std::string arg = argv[i];
     double value = 0.0;
@@ -71,6 +85,15 @@ int main(int argc, char** argv) {
       options.model.use_scopes = true;
     } else if (arg == "--cluster") {
       options.model.enable_clustering = true;
+    } else if (StartsWith(arg, "--threads=")) {
+      size_t threads = 0;
+      if (!ParseSizeT(arg.substr(10), &threads)) {
+        Usage(argv[0]);
+        return 2;
+      }
+      options.num_threads = threads;
+    } else if (arg == "--runall") {
+      runall = true;
     } else if (StartsWith(arg, "--train-fraction=") &&
                ParseDouble(arg.substr(17), &value)) {
       train_fraction = value;
@@ -90,11 +113,30 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto spec = ParseMethodSpec(method);
-  if (!spec.ok()) {
-    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
-    return 2;
+  // Resolve the lineup: one named method, or every registered method with
+  // its default parameters (--runall shares the model and the pattern
+  // grouping across all of them via RunAll). A named method alongside
+  // --runall keeps its explicit parameters — it replaces its kind's
+  // default entry in the lineup (e.g. `elastic-5 --runall` runs the
+  // lineup with elastic at level 5).
+  std::vector<MethodSpec> specs;
+  if (!runall || method != "runall") {
+    auto spec = ParseMethodSpec(method);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 2;
+    }
+    specs.push_back(*spec);
   }
+  if (runall) {
+    for (const FusionMethod* registered : MethodRegistry::Global().All()) {
+      if (!specs.empty() && specs[0].kind == registered->kind()) continue;
+      MethodSpec spec;
+      spec.kind = registered->kind();
+      specs.push_back(spec);
+    }
+  }
+
   auto dataset = LoadDataset(obs_path, gold_path);
   if (!dataset.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
@@ -124,37 +166,63 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", prepared.ToString().c_str());
     return 1;
   }
-  auto run = engine.Run(*spec);
-  if (!run.ok()) {
-    std::fprintf(stderr, "%s failed: %s\n", method,
-                 run.status().ToString().c_str());
+  auto runs = engine.RunAll(specs);
+  if (!runs.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 runs.status().ToString().c_str());
     return 1;
   }
-  auto summary = engine.Evaluate(*run, eval);
-  if (!summary.ok()) {
-    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
-    return 1;
+
+  std::string json = "[";
+  for (size_t i = 0; i < runs->size(); ++i) {
+    const FusionRun& run = (*runs)[i];
+    auto summary = engine.Evaluate(run, eval);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "%s: %s\n", run.spec.Name().c_str(),
+                   summary.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "%s: precision=%.3f recall=%.3f F1=%.3f AUC-PR=%.3f AUC-ROC=%.3f "
+        "(%.3fs)\n",
+        run.spec.Name().c_str(), summary->precision, summary->recall,
+        summary->f1, summary->auc_pr, summary->auc_roc, summary->seconds);
+    if (i > 0) json += ", ";
+    json += StrFormat(
+        "{\"method\": \"%s\", \"precision\": %s, \"recall\": %s, "
+        "\"f1\": %s, \"auc_pr\": %s, \"auc_roc\": %s, \"seconds\": %s}",
+        run.spec.Name().c_str(), JsonNum(summary->precision).c_str(),
+        JsonNum(summary->recall).c_str(), JsonNum(summary->f1).c_str(),
+        JsonNum(summary->auc_pr).c_str(), JsonNum(summary->auc_roc).c_str(),
+        JsonNum(summary->seconds).c_str());
   }
-  std::printf(
-      "%s: precision=%.3f recall=%.3f F1=%.3f AUC-PR=%.3f AUC-ROC=%.3f "
-      "(%.3fs)\n",
-      spec->Name().c_str(), summary->precision, summary->recall,
-      summary->f1, summary->auc_pr, summary->auc_roc, summary->seconds);
+  json += "]";
 
   if (!out_path.empty()) {
+    // With a lineup, the written scores are the first method's (the
+    // single-method invocation is the interesting case for --out).
+    const FusionRun& run = (*runs)[0];
     std::vector<CsvRow> rows;
     for (TripleId t = 0; t < dataset->num_triples(); ++t) {
       const Triple& triple = dataset->triple(t);
       rows.push_back({triple.subject, triple.predicate, triple.object,
-                      StrFormat("%.4f", run->scores[t])});
+                      StrFormat("%.4f", run.scores[t])});
     }
     Status written = WriteCsvFile(out_path, rows, '\t');
     if (!written.ok()) {
       std::fprintf(stderr, "%s\n", written.ToString().c_str());
       return 1;
     }
-    std::printf("wrote %zu scored triples to %s\n", rows.size(),
-                out_path.c_str());
+    std::printf("wrote %zu scored triples to %s (method %s)\n", rows.size(),
+                out_path.c_str(), run.spec.Name().c_str());
   }
+
+  // Machine-parseable summary: always the last stdout line.
+  std::printf(
+      "{\"fuser_cli\": {\"sources\": %zu, \"triples\": %zu, "
+      "\"labeled\": %zu, \"threads\": %zu, \"train_fraction\": %s, "
+      "\"methods\": %s}}\n",
+      dataset->num_sources(), dataset->num_triples(), dataset->num_labeled(),
+      options.num_threads, JsonNum(train_fraction).c_str(), json.c_str());
   return 0;
 }

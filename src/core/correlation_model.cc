@@ -39,6 +39,26 @@ StatusOr<CorrelationModel> BuildCorrelationModel(const Dataset& dataset,
   return model;
 }
 
+StatusOr<CorrelationModel> CloneCorrelationModel(
+    const CorrelationModel& model) {
+  CorrelationModel clone;
+  clone.source_quality = model.source_quality;
+  clone.clustering = model.clustering;
+  clone.alpha = model.alpha;
+  clone.use_scopes = model.use_scopes;
+  clone.cluster_stats.reserve(model.cluster_stats.size());
+  for (const std::unique_ptr<JointStatsProvider>& stats :
+       model.cluster_stats) {
+    if (stats == nullptr) {
+      return Status::InvalidArgument("model has a null cluster_stats entry");
+    }
+    FUSER_ASSIGN_OR_RETURN(std::unique_ptr<JointStatsProvider> copy,
+                           stats->Clone());
+    clone.cluster_stats.push_back(std::move(copy));
+  }
+  return clone;
+}
+
 ClusterObservation GetClusterObservation(const Dataset& dataset,
                                          const CorrelationModel& model,
                                          size_t cluster_index, TripleId t) {

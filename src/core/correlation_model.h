@@ -59,6 +59,15 @@ StatusOr<CorrelationModel> BuildCorrelationModel(const Dataset& dataset,
                                                  const DynamicBitset& train,
                                                  const ModelOptions& options);
 
+/// Deep copy of a model: quality/clustering/alpha are copied and every
+/// cluster's statistics cloned via JointStatsProvider::Clone, so mutating
+/// the copy (ApplyPatternDeltas) leaves the original byte-identical. This
+/// is FusionEngine::Update's copy-on-write step — published snapshots keep
+/// the original while the engine streams deltas into the clone. Returns
+/// Unimplemented when any provider lacks a clone (the caller falls back to
+/// a full rebuild).
+StatusOr<CorrelationModel> CloneCorrelationModel(const CorrelationModel& model);
+
 /// The observation of triple t restricted to one cluster: which cluster
 /// members provide it and which are in scope.
 struct ClusterObservation {

@@ -70,6 +70,28 @@ Status ElasticClusterLikelihood(const JointStatsProvider& stats,
   return Status::OK();
 }
 
+StatusOr<PatternScoringPlan> MakeElasticPlan(const CorrelationModel& model,
+                                             const ElasticOptions& options) {
+  if (options.level < 0) {
+    return Status::InvalidArgument("level must be >= 0");
+  }
+  if (model.cluster_stats.size() != model.clustering.clusters.size()) {
+    return Status::InvalidArgument("model cluster_stats/clusters mismatch");
+  }
+  PatternScoringPlan plan;
+  const CorrelationModel* model_ptr = &model;
+  const int level = options.level;
+  plan.scorer = [model_ptr, level](size_t c, const PatternKey& key,
+                                   double* given_true,
+                                   double* given_false) -> Status {
+    return ElasticClusterLikelihood(*model_ptr->cluster_stats[c],
+                                    key.providers, key.nonproviders, level,
+                                    given_true, given_false);
+  };
+  plan.alpha = model.alpha;
+  return plan;
+}
+
 StatusOr<std::vector<double>> ElasticScores(const Dataset& dataset,
                                             const CorrelationModel& model,
                                             const ElasticOptions& options,
@@ -78,28 +100,17 @@ StatusOr<std::vector<double>> ElasticScores(const Dataset& dataset,
   if (!dataset.finalized()) {
     return Status::FailedPrecondition("dataset not finalized");
   }
-  if (options.level < 0) {
-    return Status::InvalidArgument("level must be >= 0");
-  }
-  if (model.cluster_stats.size() != model.clustering.clusters.size()) {
-    return Status::InvalidArgument("model cluster_stats/clusters mismatch");
-  }
+  FUSER_ASSIGN_OR_RETURN(PatternScoringPlan plan,
+                         MakeElasticPlan(model, options));
   PatternGrouping local;
   FUSER_ASSIGN_OR_RETURN(
       grouping, GetOrBuildGrouping(dataset, model, grouping, &local,
                                    options.num_threads, pool));
-
-  auto scorer = [&](size_t c, const PatternKey& key, double* given_true,
-                    double* given_false) -> Status {
-    return ElasticClusterLikelihood(*model.cluster_stats[c], key.providers,
-                                    key.nonproviders, options.level,
-                                    given_true, given_false);
-  };
   FUSER_ASSIGN_OR_RETURN(
       std::vector<std::vector<PatternLikelihood>> likelihood,
-      ScorePatterns(*grouping, options.num_threads, scorer,
+      ScorePatterns(*grouping, options.num_threads, plan.scorer,
                     /*batch=*/nullptr, pool));
-  return CombinePatternScores(*grouping, likelihood, model.alpha,
+  return CombinePatternScores(*grouping, likelihood, plan.alpha,
                               options.num_threads, pool);
 }
 

@@ -44,6 +44,14 @@ StatusOr<std::vector<double>> ElasticScores(
     const ElasticOptions& options, const PatternGrouping* grouping = nullptr,
     ThreadPool* pool = nullptr);
 
+/// Elastic's pattern-scoring plan over `model` at `options.level`: the
+/// per-pattern scorer plus the combine prior (model.alpha). Captures
+/// `model` by pointer — it must outlive the plan (snapshots share
+/// ownership of it); safe to invoke from any reader thread. ElasticScores
+/// is exactly this plan run through ScorePatterns + CombinePatternScores.
+StatusOr<PatternScoringPlan> MakeElasticPlan(const CorrelationModel& model,
+                                             const ElasticOptions& options);
+
 /// Per-cluster elastic numerator/denominator for observation (P, N);
 /// exposed for tests against the paper's Example 4.10.
 Status ElasticClusterLikelihood(const JointStatsProvider& stats,

@@ -36,11 +36,91 @@ Status FusionEngine::Prepare(const DynamicBitset& train_mask) {
   FUSER_ASSIGN_OR_RETURN(
       quality_, EstimateSourceQuality(*dataset_, train_mask_,
                                       options_.model.ToQualityOptions()));
-  model_.reset();
-  grouping_.reset();
+  // Unreference (not destroy): snapshots pinned by readers keep the old
+  // model/grouping alive and consistent; the engine rebuilds lazily.
+  model_ = nullptr;
+  grouping_ = nullptr;
   dataset_version_ = dataset_->version();
   prepared_ = true;
+  Publish({});
   return Status::OK();
+}
+
+void FusionEngine::Publish(ServingMap serving) {
+  auto snapshot = std::make_shared<FusionSnapshot>();
+  snapshot->id = ++snapshots_published_;
+  snapshot->dataset_version = dataset_version_;
+  snapshot->num_triples = dataset_->num_triples();
+  snapshot->num_sources = dataset_->num_sources();
+  snapshot->options = options_;
+  snapshot->quality = quality_;
+  snapshot->model = model_;
+  snapshot->grouping = grouping_;
+  snapshot->serving = std::move(serving);
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snapshot);
+  if (!snapshot_->serving.empty()) {
+    serving_snapshot_ = snapshot_;
+  }
+}
+
+void FusionEngine::RepublishKeepServing() {
+  std::shared_ptr<const FusionSnapshot> previous = CurrentSnapshot();
+  ServingMap serving;
+  if (previous != nullptr && previous->dataset_version == dataset_version_) {
+    serving = previous->serving;
+  }
+  Publish(std::move(serving));
+}
+
+std::shared_ptr<const FusionSnapshot> FusionEngine::CurrentSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+std::shared_ptr<const FusionSnapshot> FusionEngine::CurrentServableSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return serving_snapshot_;
+}
+
+StatusOr<std::shared_ptr<const FusionSnapshot>> FusionEngine::PublishSnapshot(
+    const std::vector<MethodSpec>& specs) {
+  if (!prepared_) {
+    return Status::FailedPrecondition("call Prepare before PublishSnapshot");
+  }
+  FUSER_RETURN_IF_ERROR(CheckDatasetVersion());
+  std::shared_ptr<const FusionSnapshot> previous = CurrentSnapshot();
+  ServingMap serving;
+  for (const MethodSpec& spec : specs) {
+    const std::string name = spec.Name();
+    if (serving.count(name) != 0) continue;
+    // Reuse an entry published against exactly these inputs (same dataset
+    // version and the very same model/grouping objects); anything else is
+    // rebuilt. The pointer comparison is sound because every mutation path
+    // swaps the shared_ptrs instead of editing in place.
+    if (previous != nullptr &&
+        previous->dataset_version == dataset_version_ &&
+        previous->model == model_ && previous->grouping == grouping_) {
+      auto it = previous->serving.find(name);
+      if (it != previous->serving.end()) {
+        serving.emplace(name, it->second);
+        continue;
+      }
+    }
+    MethodContext context;
+    FUSER_ASSIGN_OR_RETURN(const FusionMethod* method,
+                           ResolveAndPrepareContext(spec, &context));
+    StatusOr<std::shared_ptr<const MethodServing>> entry =
+        BuildMethodServing(*method, context, spec);
+    if (!entry.ok()) {
+      return Status(entry.status().code(),
+                    name + ": " + entry.status().message());
+    }
+    serving.emplace(name, std::move(entry).value());
+  }
+  Publish(std::move(serving));
+  return CurrentSnapshot();
 }
 
 Status FusionEngine::CheckDatasetVersion() const {
@@ -83,10 +163,10 @@ std::vector<TripleId> FusionEngine::CollectChangedExisting(
 
 Status FusionEngine::UpdateClusterStats(
     const DatasetDelta& delta, const DynamicBitset& old_train,
-    const std::vector<TripleId>& changed_existing) {
+    const std::vector<TripleId>& changed_existing, CorrelationModel* model) {
   const size_t old_m = delta.old_num_triples;
   const bool use_scopes = options_.model.use_scopes;
-  const SourceClustering& clustering = model_->clustering;
+  const SourceClustering& clustering = model->clustering;
 
   // Label state before the batch (ApplyBatch records the first old label
   // per triple; emplace keeps it even if a batch relabels twice).
@@ -200,7 +280,7 @@ Status FusionEngine::UpdateClusterStats(
     }
     if (deltas.empty()) continue;
     FUSER_RETURN_IF_ERROR(
-        model_->cluster_stats[c]->ApplyPatternDeltas(deltas));
+        model->cluster_stats[c]->ApplyPatternDeltas(deltas));
   }
   return Status::OK();
 }
@@ -236,10 +316,11 @@ Status FusionEngine::Update(const ObservationBatch& batch) {
       quality_, EstimateSourceQuality(*dataset_, train_mask_,
                                       options_.model.ToQualityOptions()));
 
-  if (!model_.has_value()) {
+  if (model_ == nullptr) {
     // Shared inputs not built yet: the next Run builds them from the
     // updated dataset.
-    grouping_.reset();
+    grouping_ = nullptr;
+    Publish({});
     return Status::OK();
   }
 
@@ -262,41 +343,72 @@ Status FusionEngine::Update(const ObservationBatch& batch) {
     // No incremental story: new sources change the cluster partition, and
     // with clustering enabled any training change can re-cluster. The model
     // and grouping rebuild lazily on the next Run.
-    model_.reset();
-    grouping_.reset();
+    model_ = nullptr;
+    grouping_ = nullptr;
     ++full_invalidations_;
+    Publish({});
     return Status::OK();
   }
 
-  model_->source_quality = quality_;
+  // Copy-on-write: snapshots pinned by readers keep the pre-batch model;
+  // the deltas land in a private clone that becomes the new current model
+  // only once fully updated.
+  StatusOr<CorrelationModel> cloned = CloneCorrelationModel(*model_);
+  if (cloned.status().code() == StatusCode::kUnimplemented) {
+    // Caller-supplied stats without a clone: rebuild lazily.
+    model_ = nullptr;
+    grouping_ = nullptr;
+    ++full_invalidations_;
+    Publish({});
+    return Status::OK();
+  }
+  if (!cloned.ok()) {
+    model_ = nullptr;
+    grouping_ = nullptr;
+    Publish({});
+    return cloned.status();
+  }
+  auto next_model = std::make_shared<CorrelationModel>(std::move(*cloned));
+  next_model->source_quality = quality_;
 
   const std::vector<TripleId> changed_existing =
       CollectChangedExisting(delta, use_scopes);
 
-  Status stats_status = UpdateClusterStats(delta, old_train, changed_existing);
+  Status stats_status =
+      UpdateClusterStats(delta, old_train, changed_existing,
+                         next_model.get());
   if (stats_status.code() == StatusCode::kUnimplemented) {
     // Caller-supplied stats without an incremental path: rebuild lazily.
-    model_.reset();
-    grouping_.reset();
+    model_ = nullptr;
+    grouping_ = nullptr;
     ++full_invalidations_;
+    Publish({});
     return Status::OK();
   }
   if (!stats_status.ok()) {
-    // The stats may be partially updated; drop them rather than serve a
-    // corrupt model.
-    model_.reset();
-    grouping_.reset();
+    // The clone may be partially updated; drop the shared inputs rather
+    // than serve a corrupt model (pinned snapshots are unaffected).
+    model_ = nullptr;
+    grouping_ = nullptr;
+    Publish({});
     return stats_status;
   }
+  model_ = std::move(next_model);
 
-  if (grouping_.has_value()) {
+  if (grouping_ != nullptr) {
+    // Same copy-on-write for the grouping: append/remap in a copy so the
+    // published grouping (shared with pinned snapshots) never moves.
+    auto next_grouping = std::make_shared<PatternGrouping>(*grouping_);
     Status grouping_status = UpdatePatternGrouping(
-        *dataset_, *model_, changed_existing, &*grouping_);
-    if (!grouping_status.ok()) {
-      grouping_.reset();  // degrade to a lazy rebuild
+        *dataset_, *model_, changed_existing, next_grouping.get());
+    if (grouping_status.ok()) {
+      grouping_ = std::move(next_grouping);
+    } else {
+      grouping_ = nullptr;  // degrade to a lazy rebuild
       ++full_invalidations_;
     }
   }
+  Publish({});
   return Status::OK();
 }
 
@@ -305,13 +417,14 @@ Status FusionEngine::EnsureModel() {
     return Status::FailedPrecondition("call Prepare before Run");
   }
   FUSER_RETURN_IF_ERROR(CheckDatasetVersion());
-  if (model_.has_value()) {
+  if (model_ != nullptr) {
     return Status::OK();
   }
   FUSER_ASSIGN_OR_RETURN(
       CorrelationModel model,
       BuildCorrelationModel(*dataset_, train_mask_, options_.model));
-  model_ = std::move(model);
+  model_ = std::make_shared<const CorrelationModel>(std::move(model));
+  RepublishKeepServing();
   return Status::OK();
 }
 
@@ -326,7 +439,7 @@ ThreadPool* FusionEngine::WorkerPool() {
 
 Status FusionEngine::EnsureGrouping() {
   FUSER_RETURN_IF_ERROR(EnsureModel());
-  if (grouping_.has_value()) {
+  if (grouping_ != nullptr) {
     return Status::OK();
   }
   FUSER_ASSIGN_OR_RETURN(
@@ -334,19 +447,20 @@ Status FusionEngine::EnsureGrouping() {
       BuildPatternGrouping(*dataset_, *model_,
                            ResolveNumThreads(options_.num_threads),
                            WorkerPool()));
-  grouping_ = std::move(grouping);
+  grouping_ = std::make_shared<const PatternGrouping>(std::move(grouping));
   ++grouping_builds_;
+  RepublishKeepServing();
   return Status::OK();
 }
 
 StatusOr<const CorrelationModel*> FusionEngine::GetModel() {
   FUSER_RETURN_IF_ERROR(EnsureModel());
-  return static_cast<const CorrelationModel*>(&*model_);
+  return model_.get();
 }
 
 StatusOr<const PatternGrouping*> FusionEngine::GetPatternGrouping() {
   FUSER_RETURN_IF_ERROR(EnsureGrouping());
-  return static_cast<const PatternGrouping*>(&*grouping_);
+  return grouping_.get();
 }
 
 StatusOr<const FusionMethod*> FusionEngine::ResolveAndPrepareContext(
@@ -369,11 +483,11 @@ StatusOr<const FusionMethod*> FusionEngine::ResolveAndPrepareContext(
   // across methods, like the paper's offline parameters).
   if (method->needs_model()) {
     FUSER_RETURN_IF_ERROR(EnsureModel());
-    context->model = &*model_;
+    context->model = model_.get();
   }
   if (method->uses_pattern_pipeline()) {
     FUSER_RETURN_IF_ERROR(EnsureGrouping());
-    context->grouping = &*grouping_;
+    context->grouping = grouping_.get();
   }
   return method;
 }
@@ -382,13 +496,46 @@ StatusOr<FusionRun> FusionEngine::Run(const MethodSpec& spec) {
   MethodContext context;
   FUSER_ASSIGN_OR_RETURN(const FusionMethod* method,
                          ResolveAndPrepareContext(spec, &context));
-  FUSER_RETURN_IF_ERROR(method->Prepare(context));
 
   FusionRun run;
   run.spec = spec;
   run.threshold = method->DefaultThreshold(spec, options_);
   run.dataset_version = dataset_->version();
 
+  if (method->supports_pattern_serving() && context.grouping != nullptr) {
+    // Batch scoring is the dense expansion of the serving state: build (or
+    // reuse) the per-pattern posterior table a published snapshot carries
+    // and gather it over every triple, so FusionService::ScoreBatch and
+    // Run share one implementation (and are byte-identical).
+    WallTimer timer;
+    std::shared_ptr<const MethodServing> serving;
+    // An entry already published against exactly these inputs is
+    // byte-identical to a rebuild (BuildMethodServing is deterministic) —
+    // skip the distinct-pattern scoring pass. This makes the canonical
+    // writer loop (PublishSnapshot, then Run for a dense reference) pay
+    // for the scoring once. Note FusionRun.seconds then covers only the
+    // gather, like the shared inputs it excludes by contract.
+    std::shared_ptr<const FusionSnapshot> current = CurrentSnapshot();
+    if (current != nullptr &&
+        current->dataset_version == dataset_version_ &&
+        current->model == model_ && current->grouping == grouping_) {
+      const MethodServing* entry = current->FindServing(spec.Name());
+      if (entry != nullptr && entry->pattern_based) {
+        // Aliasing constructor: keeps the snapshot alive behind the entry.
+        serving = std::shared_ptr<const MethodServing>(current, entry);
+      }
+    }
+    if (serving == nullptr) {
+      FUSER_ASSIGN_OR_RETURN(serving,
+                             BuildMethodServing(*method, context, spec));
+    }
+    run.scores = GatherPatternScores(*context.grouping, serving->table,
+                                     context.num_threads, context.pool);
+    run.seconds = timer.ElapsedSeconds();
+    return run;
+  }
+
+  FUSER_RETURN_IF_ERROR(method->Prepare(context));
   WallTimer timer;
   FUSER_ASSIGN_OR_RETURN(run.scores, method->Score(context, spec));
   run.seconds = timer.ElapsedSeconds();

@@ -16,12 +16,21 @@
 // distinct-pattern grouping — are built lazily, once, and reused by every
 // method that declares a need for them, so RunAll scores a whole method
 // lineup over a single pass of the shared work.
+//
+// The engine is also the writer half of a single-writer/many-readers
+// split: after every Prepare/Update (and whenever a shared input is first
+// built) it publishes an immutable FusionSnapshot (see core/snapshot.h).
+// Reader threads pin the current snapshot via CurrentSnapshot() — or the
+// FusionService facade in serving/ — and keep scoring against it while
+// this engine ingests further batches; Update clones the model and the
+// grouping before applying deltas, so published state never moves.
 #ifndef FUSER_CORE_ENGINE_H_
 #define FUSER_CORE_ENGINE_H_
 
 #include <memory>
-#include <optional>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bitset.h"
@@ -30,6 +39,7 @@
 #include "core/correlation_model.h"
 #include "core/fusion_method.h"
 #include "core/pattern_pipeline.h"
+#include "core/snapshot.h"
 #include "model/dataset.h"
 #include "stats/curves.h"
 #include "stats/metrics.h"
@@ -123,14 +133,46 @@ class FusionEngine {
   StatusOr<EvalSummary> RunAndEvaluate(const MethodSpec& spec,
                                        const DynamicBitset& eval_mask);
 
+  /// The latest published snapshot: the engine's state as of the last
+  /// Prepare/Update/publish, immutable and ref-counted. Thread-safe — any
+  /// number of reader threads may call this (and keep the result pinned)
+  /// while the writer thread keeps calling Update/Run/PublishSnapshot.
+  /// Null before the first Prepare. Snapshots published before the serving
+  /// state was materialized (see PublishSnapshot) have no model/grouping/
+  /// serving entries yet; FusionService reports that per query.
+  std::shared_ptr<const FusionSnapshot> CurrentSnapshot() const;
+
+  /// The latest published snapshot that carries serving entries (the
+  /// newest PublishSnapshot result). Between an Update and the writer's
+  /// next PublishSnapshot the engine's *current* snapshot has no serving
+  /// state yet; readers that want uninterrupted serving pin this one
+  /// instead — slightly stale, always servable. Null until the first
+  /// PublishSnapshot with a non-empty spec list. Thread-safe.
+  std::shared_ptr<const FusionSnapshot> CurrentServableSnapshot() const;
+
+  /// Materializes serving state for `specs` (shared inputs plus one
+  /// MethodServing per spec — posterior tables for pattern-serving
+  /// methods, dense scores otherwise), publishes the result atomically,
+  /// and returns the published snapshot. Entries already published for the
+  /// same inputs are reused, so republishing after no change is cheap.
+  /// Writer-side: call it from the same thread as Prepare/Update/Run;
+  /// readers consume the result via CurrentSnapshot()/FusionService.
+  StatusOr<std::shared_ptr<const FusionSnapshot>> PublishSnapshot(
+      const std::vector<MethodSpec>& specs);
+
   /// The correlation model (builds it if not yet built). The pointer is
-  /// owned by the engine and invalidated by the next Prepare call (which
-  /// destroys and lazily rebuilds the model) and by engine destruction.
+  /// owned by the published snapshot: it stays valid while this engine
+  /// still serves it *or* any caller keeps a snapshot from before the next
+  /// Prepare/Update pinned (Prepare and invalidating Updates unreference
+  /// the model instead of destroying it; incremental Updates clone it and
+  /// stream deltas into the clone). Cache it across Prepare/Update
+  /// boundaries only by pinning the owning snapshot.
   StatusOr<const CorrelationModel*> GetModel();
 
   /// The distinct-pattern grouping (builds model and grouping if needed).
-  /// Same lifetime rule as GetModel: the next Prepare call invalidates the
-  /// pointer; do not cache it across Prepare boundaries.
+  /// Same ownership rule as GetModel: snapshot-owned, never mutated after
+  /// publication — pin the snapshot to keep the pointer valid across
+  /// Prepare/Update boundaries.
   StatusOr<const PatternGrouping*> GetPatternGrouping();
 
   /// Per-source quality estimated by Prepare (and kept current by Update).
@@ -157,8 +199,20 @@ class FusionEngine {
   size_t full_invalidations() const { return full_invalidations_; }
 
  private:
+  using ServingMap =
+      std::unordered_map<std::string, std::shared_ptr<const MethodServing>>;
+
   Status EnsureModel();
   Status EnsureGrouping();
+  /// Publishes the current writer state (quality, model, grouping,
+  /// `serving`) as a fresh immutable snapshot. The swap is the only
+  /// writer/reader touch point and is mutex-guarded; everything inside the
+  /// snapshot is frozen before the swap.
+  void Publish(ServingMap serving);
+  /// Publish preserving the serving entries of the current snapshot (used
+  /// when only the shared inputs changed lazily, at the same dataset
+  /// version, so existing entries remain valid).
+  void RepublishKeepServing();
   /// The engine's persistent worker pool, created lazily on the first
   /// parallel section and reused by every Run/Update/grouping build after
   /// it (repeated calls stop paying per-call thread creation). Returns
@@ -174,10 +228,12 @@ class FusionEngine {
   /// Existing triples whose provider or scope masks changed in `delta`.
   std::vector<TripleId> CollectChangedExisting(const DatasetDelta& delta,
                                                bool use_scopes) const;
-  /// Folds exact pattern-count deltas into every cluster's joint stats.
+  /// Folds exact pattern-count deltas into `model`'s per-cluster joint
+  /// stats (the writer's private clone, never a published model).
   Status UpdateClusterStats(const DatasetDelta& delta,
                             const DynamicBitset& old_train,
-                            const std::vector<TripleId>& changed_existing);
+                            const std::vector<TripleId>& changed_existing,
+                            CorrelationModel* model);
 
   const Dataset* dataset_;
   Dataset* mutable_dataset_ = nullptr;  // non-null iff streaming-capable
@@ -186,12 +242,22 @@ class FusionEngine {
   uint64_t dataset_version_ = 0;
   DynamicBitset train_mask_;
   std::vector<SourceQuality> quality_;
-  std::optional<CorrelationModel> model_;
-  std::optional<PatternGrouping> grouping_;
+  // Shared inputs are shared_ptrs into the published snapshots: the writer
+  // replaces them (clone-on-write in Update, reset in Prepare) but never
+  // mutates them once a snapshot holds them.
+  std::shared_ptr<const CorrelationModel> model_;
+  std::shared_ptr<const PatternGrouping> grouping_;
   std::unique_ptr<ThreadPool> pool_;
   size_t grouping_builds_ = 0;
   size_t updates_applied_ = 0;
   size_t full_invalidations_ = 0;
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const FusionSnapshot> snapshot_;
+  /// Latest snapshot with non-empty serving entries (what readers pin for
+  /// uninterrupted serving across the writer's Update→publish window).
+  std::shared_ptr<const FusionSnapshot> serving_snapshot_;
+  uint64_t snapshots_published_ = 0;
 };
 
 }  // namespace fuser

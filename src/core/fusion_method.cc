@@ -46,6 +46,15 @@ class PrecRecCorrMethod : public FusionMethod {
   bool needs_model() const override { return true; }
   bool uses_pattern_pipeline() const override { return true; }
   bool supports_threads() const override { return true; }
+  bool supports_pattern_serving() const override { return true; }
+
+  StatusOr<PatternScoringPlan> MakeScoringPlan(
+      const MethodContext& context, const MethodSpec& spec) const override {
+    (void)spec;
+    PrecRecCorrOptions options = context.options->corr;
+    options.num_threads = context.num_threads;
+    return MakePrecRecCorrPlan(*context.model, options);
+  }
 
   std::optional<StatusOr<MethodSpec>> TryParse(
       const std::string& name) const override {
@@ -98,6 +107,15 @@ class ElasticMethod : public FusionMethod {
   bool needs_model() const override { return true; }
   bool uses_pattern_pipeline() const override { return true; }
   bool supports_threads() const override { return true; }
+  bool supports_pattern_serving() const override { return true; }
+
+  StatusOr<PatternScoringPlan> MakeScoringPlan(
+      const MethodContext& context, const MethodSpec& spec) const override {
+    ElasticOptions options;
+    options.level = spec.elastic_level;
+    options.num_threads = context.num_threads;
+    return MakeElasticPlan(*context.model, options);
+  }
 
   std::optional<StatusOr<MethodSpec>> TryParse(
       const std::string& name) const override {

@@ -123,6 +123,14 @@ class FusionMethod {
   /// declare this; others receive num_threads = 1.
   virtual bool supports_threads() const { return false; }
 
+  /// The method's scores factor through the shared pattern pipeline: it
+  /// can hand out a PatternScoringPlan (per-pattern likelihoods + combine
+  /// prior), which lets a FusionSnapshot keep a per-pattern posterior
+  /// table and serve point queries — including ad-hoc observations the
+  /// dataset has never seen — with the exact arithmetic of a full Run.
+  /// Implies uses_pattern_pipeline().
+  virtual bool supports_pattern_serving() const { return false; }
+
   /// Decision threshold for `spec` (paper default: options.decision_threshold;
   /// union-K votes with its own percentage-derived threshold).
   virtual double DefaultThreshold(const MethodSpec& spec,
@@ -157,6 +165,19 @@ class FusionMethod {
   /// Scores every triple of context.dataset with a value in [0, 1].
   virtual StatusOr<std::vector<double>> Score(
       const MethodContext& context, const MethodSpec& spec) const = 0;
+
+  /// The pattern-scoring plan for (context, spec); only meaningful when
+  /// supports_pattern_serving(). The returned closures capture
+  /// context.model by pointer — callers (the engine's snapshot publisher)
+  /// must keep the model alive for the plan's lifetime. Scoring the plan
+  /// over the shared grouping and combining with its alpha is
+  /// byte-identical to Score(context, spec).
+  virtual StatusOr<PatternScoringPlan> MakeScoringPlan(
+      const MethodContext& context, const MethodSpec& spec) const {
+    (void)context;
+    (void)spec;
+    return Status::Unimplemented("method has no pattern scoring plan");
+  }
 };
 
 /// Name-keyed registry of fusion methods. The global instance is populated

@@ -220,6 +220,11 @@ Status EmpiricalJointStats::ApplyPatternDeltas(
   return Status::OK();
 }
 
+StatusOr<std::unique_ptr<JointStatsProvider>> EmpiricalJointStats::Clone()
+    const {
+  return std::unique_ptr<JointStatsProvider>(new EmpiricalJointStats(*this));
+}
+
 EmpiricalJointStats::Counts EmpiricalJointStats::ComputeCounts(
     Mask subset) const {
   Counts counts;

@@ -139,6 +139,18 @@ class JointStatsProvider {
   virtual Status ApplyPatternDeltas(const std::vector<JointPatternDelta>&) {
     return Status::Unimplemented("incremental pattern deltas not supported");
   }
+
+  /// Deep copy, answering every query identically to the source. Used for
+  /// copy-on-write snapshotting: FusionEngine::Update clones the published
+  /// model and applies deltas to the clone, so readers pinning an older
+  /// snapshot keep consistent statistics. Must be safe to call while other
+  /// threads issue concurrent *read* queries against this provider (reads
+  /// may populate internal memo caches; the clone must not depend on
+  /// them). Providers without a clone return Unimplemented and the caller
+  /// falls back to a full model rebuild.
+  virtual StatusOr<std::unique_ptr<JointStatsProvider>> Clone() const {
+    return Status::Unimplemented("clone not supported");
+  }
 };
 
 struct JointStatsOptions {
@@ -186,6 +198,7 @@ class EmpiricalJointStats : public JointStatsProvider {
       const override;
   Status ApplyPatternDeltas(
       const std::vector<JointPatternDelta>& deltas) override;
+  StatusOr<std::unique_ptr<JointStatsProvider>> Clone() const override;
 
   /// Raw superset counts (diagnostics and tests).
   size_t CountTrueSuperset(Mask subset) const;
@@ -212,6 +225,23 @@ class EmpiricalJointStats : public JointStatsProvider {
   };
 
   EmpiricalJointStats() = default;
+  /// Clone's copy: duplicates the counts, pattern lists, and SoS tables;
+  /// memo caches start empty and mutexes fresh. Reading only the
+  /// writer-owned fields keeps this safe against concurrent readers (they
+  /// mutate nothing but the memos).
+  EmpiricalJointStats(const EmpiricalJointStats& other)
+      : k_(other.k_),
+        options_(other.options_),
+        true_patterns_(other.true_patterns_),
+        false_patterns_(other.false_patterns_),
+        total_true_(other.total_true_),
+        total_false_(other.total_false_),
+        true_index_(other.true_index_),
+        false_index_(other.false_index_),
+        has_tables_(other.has_tables_),
+        sup_true_(other.sup_true_),
+        sup_false_(other.sup_false_),
+        sup_scope_true_(other.sup_scope_true_) {}
 
   Counts ComputeCounts(Mask subset) const;
   const Counts& CachedCounts(Mask subset) const;
@@ -273,6 +303,9 @@ class ExplicitJointStats : public JointStatsProvider {
   int num_sources() const override { return static_cast<int>(singles_.size()); }
   double alpha() const override { return alpha_; }
   JointQuality Get(Mask subset) const override;
+  StatusOr<std::unique_ptr<JointStatsProvider>> Clone() const override {
+    return std::unique_ptr<JointStatsProvider>(new ExplicitJointStats(*this));
+  }
 
  private:
   std::vector<JointQuality> singles_;

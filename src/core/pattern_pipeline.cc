@@ -444,109 +444,112 @@ StatusOr<std::vector<std::vector<PatternLikelihood>>> ScorePatterns(
   return likelihood;
 }
 
+PatternLogEntry MakePatternLogEntry(double given_true, double given_false) {
+  PatternLogEntry entry;
+  if (given_true <= 0.0) {
+    entry.flag |= 1;
+  } else {
+    entry.log_true = std::log(given_true);
+  }
+  if (given_false <= 0.0) {
+    entry.flag |= 2;
+  } else {
+    entry.log_false = std::log(given_false);
+  }
+  return entry;
+}
+
+double PatternLogAccumulator::Posterior(double alpha) const {
+  if (num_zero_ && den_zero_) {
+    return alpha;  // observation impossible either way
+  }
+  if (num_zero_) return 0.0;
+  if (den_zero_) return 1.0;
+  return PosteriorFromLogMu(log_num_ - log_den_, alpha);
+}
+
+PatternPosteriorTable BuildPatternPosteriorTable(
+    const std::vector<std::vector<PatternLikelihood>>& likelihood,
+    double alpha) {
+  PatternPosteriorTable table;
+  table.alpha = alpha;
+  const size_t num_clusters = likelihood.size();
+  table.logs.resize(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    const std::vector<PatternLikelihood>& likes = likelihood[c];
+    PatternPosteriorTable::ClusterLogs& logs = table.logs[c];
+    logs.log_true.resize(likes.size());
+    logs.log_false.resize(likes.size());
+    logs.flags.resize(likes.size());
+    for (size_t i = 0; i < likes.size(); ++i) {
+      const PatternLogEntry entry =
+          MakePatternLogEntry(likes[i].given_true, likes[i].given_false);
+      logs.log_true[i] = entry.log_true;
+      logs.log_false[i] = entry.log_false;
+      logs.flags[i] = entry.flag;
+    }
+  }
+  if (num_clusters == 1) {
+    // One cluster: a triple's posterior is a function of its distinct
+    // pattern alone, so precompute one posterior per pattern and let the
+    // gather (and point queries) become a single table read.
+    const PatternPosteriorTable::ClusterLogs& logs = table.logs[0];
+    table.posterior.resize(logs.flags.size());
+    for (size_t i = 0; i < logs.flags.size(); ++i) {
+      PatternLogAccumulator acc;
+      acc.Add({logs.flags[i], logs.log_true[i], logs.log_false[i]});
+      table.posterior[i] = acc.Posterior(alpha);
+    }
+  }
+  return table;
+}
+
 namespace {
 
-/// Per-pattern log-likelihoods with zero flags, precomputed once per
-/// cluster so the per-triple combine loop never calls std::log.
-struct ClusterLogLikelihood {
-  std::vector<double> log_true;
-  std::vector<double> log_false;
-  std::vector<unsigned char> flags;  // bit 0: given_true <= 0, bit 1: <= 0
-};
+/// The per-triple combine body, shared verbatim by the dense gather and
+/// the point-query path so their results are byte-identical: both sum the
+/// same per-pattern logs in cluster order and take the same branches.
+inline double CombineClusterEntries(const PatternPosteriorTable& table,
+                                    const PatternGrouping& grouping,
+                                    size_t t) {
+  if (!table.posterior.empty()) {
+    return table.posterior[grouping.pattern_of[0][t]];
+  }
+  PatternLogAccumulator acc;
+  const size_t num_clusters = table.logs.size();
+  for (size_t c = 0; c < num_clusters; ++c) {
+    const size_t i = grouping.pattern_of[c][t];
+    const PatternPosteriorTable::ClusterLogs& logs = table.logs[c];
+    acc.Add({logs.flags[i], logs.log_true[i], logs.log_false[i]});
+  }
+  return acc.Posterior(table.alpha);
+}
 
 }  // namespace
+
+double ScoreTripleFromTable(const PatternGrouping& grouping,
+                            const PatternPosteriorTable& table, TripleId t) {
+  return CombineClusterEntries(table, grouping, static_cast<size_t>(t));
+}
+
+std::vector<double> GatherPatternScores(const PatternGrouping& grouping,
+                                        const PatternPosteriorTable& table,
+                                        size_t num_threads, ThreadPool* pool) {
+  std::vector<double> scores(grouping.num_triples);
+  if (grouping.num_triples == 0) return scores;
+  ParallelFor(
+      grouping.num_triples, num_threads,
+      [&](size_t t) { scores[t] = CombineClusterEntries(table, grouping, t); },
+      ParallelForOptions{pool, nullptr});
+  return scores;
+}
 
 std::vector<double> CombinePatternScores(
     const PatternGrouping& grouping,
     const std::vector<std::vector<PatternLikelihood>>& likelihood,
     double alpha, size_t num_threads, ThreadPool* pool) {
-  const size_t num_clusters = grouping.num_clusters();
-  std::vector<double> scores(grouping.num_triples);
-  if (grouping.num_triples == 0) return scores;
-
-  if (num_clusters == 1) {
-    // One cluster: a triple's posterior is a function of its distinct
-    // pattern alone, so compute one posterior per pattern and gather.
-    const std::vector<PatternLikelihood>& likes = likelihood[0];
-    std::vector<double> posterior(likes.size());
-    for (size_t i = 0; i < likes.size(); ++i) {
-      const PatternLikelihood& like = likes[i];
-      const bool num_zero = like.given_true <= 0.0;
-      const bool den_zero = like.given_false <= 0.0;
-      if (num_zero && den_zero) {
-        posterior[i] = alpha;  // observation impossible either way
-      } else if (num_zero) {
-        posterior[i] = 0.0;
-      } else if (den_zero) {
-        posterior[i] = 1.0;
-      } else {
-        posterior[i] = PosteriorFromLogMu(
-            std::log(like.given_true) - std::log(like.given_false), alpha);
-      }
-    }
-    const std::vector<size_t>& pattern_of = grouping.pattern_of[0];
-    ParallelFor(
-        grouping.num_triples, num_threads,
-        [&](size_t t) { scores[t] = posterior[pattern_of[t]]; },
-        ParallelForOptions{pool, nullptr});
-    return scores;
-  }
-
-  std::vector<ClusterLogLikelihood> logs(num_clusters);
-  for (size_t c = 0; c < num_clusters; ++c) {
-    const std::vector<PatternLikelihood>& likes = likelihood[c];
-    logs[c].log_true.resize(likes.size());
-    logs[c].log_false.resize(likes.size());
-    logs[c].flags.resize(likes.size());
-    for (size_t i = 0; i < likes.size(); ++i) {
-      const PatternLikelihood& like = likes[i];
-      unsigned char flag = 0;
-      if (like.given_true <= 0.0) {
-        flag |= 1;
-      } else {
-        logs[c].log_true[i] = std::log(like.given_true);
-      }
-      if (like.given_false <= 0.0) {
-        flag |= 2;
-      } else {
-        logs[c].log_false[i] = std::log(like.given_false);
-      }
-      logs[c].flags[i] = flag;
-    }
-  }
-  ParallelFor(
-      grouping.num_triples, num_threads,
-      [&](size_t t) {
-        double log_num = 0.0;
-        double log_den = 0.0;
-        bool num_zero = false;
-        bool den_zero = false;
-        for (size_t c = 0; c < num_clusters; ++c) {
-          const size_t i = grouping.pattern_of[c][t];
-          const unsigned char flag = logs[c].flags[i];
-          if (flag & 1) {
-            num_zero = true;
-          } else {
-            log_num += logs[c].log_true[i];
-          }
-          if (flag & 2) {
-            den_zero = true;
-          } else {
-            log_den += logs[c].log_false[i];
-          }
-        }
-        if (num_zero && den_zero) {
-          scores[t] = alpha;  // observation impossible either way
-        } else if (num_zero) {
-          scores[t] = 0.0;
-        } else if (den_zero) {
-          scores[t] = 1.0;
-        } else {
-          scores[t] = PosteriorFromLogMu(log_num - log_den, alpha);
-        }
-      },
-      ParallelForOptions{pool, nullptr});
-  return scores;
+  PatternPosteriorTable table = BuildPatternPosteriorTable(likelihood, alpha);
+  return GatherPatternScores(grouping, table, num_threads, pool);
 }
 
 std::vector<double> CombinePatternScoresReference(

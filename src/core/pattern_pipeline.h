@@ -160,6 +160,19 @@ using ClusterBatchScorer = std::function<StatusOr<bool>(
     size_t cluster, const std::vector<PatternKey>& keys,
     std::vector<PatternLikelihood>* out)>;
 
+/// A method's pattern-scoring recipe, detached from any particular
+/// grouping: the per-pattern scorer (plus the optional batched form) and
+/// the prior the combine step pairs with it. Plans are self-contained
+/// closures — they capture the correlation model by pointer and every
+/// strategy decision by value — so a snapshot can store one and invoke it
+/// from any reader thread long after the engine has moved on, as long as
+/// the captured model is kept alive (snapshots share ownership of it).
+struct PatternScoringPlan {
+  PatternScorer scorer;
+  ClusterBatchScorer batch;  // null when the method has no batched path
+  double alpha = 0.5;
+};
+
 /// Scores every distinct pattern of every cluster exactly once. Clusters
 /// the `batch` scorer claims are computed whole (one pass per cluster,
 /// parallel across clusters); the rest run `scorer` in parallel over the
@@ -171,11 +184,103 @@ StatusOr<std::vector<std::vector<PatternLikelihood>>> ScorePatterns(
     const PatternScorer& scorer, const ClusterBatchScorer& batch = nullptr,
     ThreadPool* pool = nullptr);
 
+/// Per-pattern posterior state precomputed from a full set of pattern
+/// likelihoods: everything CombinePatternScores needs per distinct pattern,
+/// promoted into a value type so a snapshot can keep it and answer point
+/// queries in O(num_clusters) without rescoring anything. With one cluster
+/// a triple's posterior is a pure function of its pattern, so the table
+/// stores the final posterior per pattern; with many clusters it stores
+/// the per-pattern log-likelihood pairs (with zero flags) that the combine
+/// loop sums across clusters.
+struct PatternPosteriorTable {
+  struct ClusterLogs {
+    std::vector<double> log_true;
+    std::vector<double> log_false;
+    /// bit 0: given_true <= 0, bit 1: given_false <= 0 (the log is then
+    /// unset and the combine short-circuits).
+    std::vector<unsigned char> flags;
+  };
+  double alpha = 0.5;
+  /// One entry per cluster, parallel to the grouping's distinct lists.
+  std::vector<ClusterLogs> logs;
+  /// Posterior per distinct pattern; populated only with one cluster.
+  std::vector<double> posterior;
+
+  size_t num_clusters() const { return logs.size(); }
+};
+
+/// Precomputes the posterior table for `likelihood` (one PatternLikelihood
+/// per distinct pattern per cluster, as produced by ScorePatterns).
+PatternPosteriorTable BuildPatternPosteriorTable(
+    const std::vector<std::vector<PatternLikelihood>>& likelihood,
+    double alpha);
+
+/// One cluster's combine input: the flag/log triple the posterior table
+/// stores per pattern, computable on the fly for patterns the table has
+/// never seen (the serving layer's ad-hoc observations).
+struct PatternLogEntry {
+  unsigned char flag = 0;  // bit 0: given_true <= 0, bit 1: given_false <= 0
+  double log_true = 0.0;
+  double log_false = 0.0;
+};
+
+/// Derives the combine input from a likelihood pair. Non-positive values
+/// set the corresponding flag bit (the log stays 0 and the combine
+/// short-circuits) — exactly how BuildPatternPosteriorTable fills the
+/// table, so on-the-fly entries mix bit-identically with table reads.
+PatternLogEntry MakePatternLogEntry(double given_true, double given_false);
+
+/// Accumulates per-cluster combine inputs (in cluster order) into a
+/// posterior: log-likelihoods add, zero flags short-circuit to 0/1 (or the
+/// prior when impossible under both hypotheses). This is THE combine rule
+/// — the dense gather, point queries, and ad-hoc observations all run
+/// their entries through it, which is what makes them byte-identical.
+class PatternLogAccumulator {
+ public:
+  void Add(const PatternLogEntry& entry) {
+    if (entry.flag & 1) {
+      num_zero_ = true;
+    } else {
+      log_num_ += entry.log_true;
+    }
+    if (entry.flag & 2) {
+      den_zero_ = true;
+    } else {
+      log_den_ += entry.log_false;
+    }
+  }
+
+  double Posterior(double alpha) const;
+
+ private:
+  double log_num_ = 0.0;
+  double log_den_ = 0.0;
+  bool num_zero_ = false;
+  bool den_zero_ = false;
+};
+
+/// Posterior of triple `t`: gathers t's per-cluster pattern ids from
+/// `grouping` and combines the table's entries. `table` must have been
+/// built from a ScorePatterns pass over this same grouping. Byte-identical
+/// to the triple's entry in GatherPatternScores / CombinePatternScores.
+double ScoreTripleFromTable(const PatternGrouping& grouping,
+                            const PatternPosteriorTable& table, TripleId t);
+
+/// Dense form: posterior of every triple of the grouping, parallelized
+/// across `num_threads` workers. scores[t] == ScoreTripleFromTable(t) for
+/// every t, at every thread count.
+std::vector<double> GatherPatternScores(const PatternGrouping& grouping,
+                                        const PatternPosteriorTable& table,
+                                        size_t num_threads = 1,
+                                        ThreadPool* pool = nullptr);
+
 /// Combines per-cluster pattern likelihoods into per-triple posteriors:
 /// log-likelihoods add across clusters and the posterior follows from the
 /// prior `alpha`. Zero likelihoods short-circuit (impossible under one
 /// hypothesis forces the posterior to 0/1; impossible under both falls
-/// back to the prior).
+/// back to the prior). Implemented as BuildPatternPosteriorTable followed
+/// by GatherPatternScores — the batch path and the snapshot point-query
+/// path share one arithmetic.
 ///
 /// Per-distinct-pattern log-likelihoods are computed once per cluster, so
 /// the per-triple loop is an add-only gather parallelized across

@@ -28,23 +28,15 @@ Status TermSummationLikelihood(const JointStatsProvider& stats,
   return Status::OK();
 }
 
-StatusOr<std::vector<double>> PrecRecCorrScores(
-    const Dataset& dataset, const CorrelationModel& model,
-    const PrecRecCorrOptions& options, const PatternGrouping* grouping,
-    ThreadPool* pool) {
-  if (!dataset.finalized()) {
-    return Status::FailedPrecondition("dataset not finalized");
-  }
+StatusOr<PatternScoringPlan> MakePrecRecCorrPlan(
+    const CorrelationModel& model, const PrecRecCorrOptions& options) {
   if (model.cluster_stats.size() != model.clustering.clusters.size()) {
     return Status::InvalidArgument("model cluster_stats/clusters mismatch");
   }
-  PatternGrouping local;
-  FUSER_ASSIGN_OR_RETURN(
-      grouping, GetOrBuildGrouping(dataset, model, grouping, &local,
-                                   options.num_threads, pool));
   const size_t num_clusters = model.clustering.clusters.size();
 
-  // Pick the evaluation strategy per cluster, once.
+  // Pick the evaluation strategy per cluster, once; the closures capture
+  // the decisions by value and the model by pointer.
   std::vector<char> use_calibrated(num_clusters, 0);
   std::vector<char> use_direct(num_clusters, 0);
   for (size_t c = 0; c < num_clusters; ++c) {
@@ -56,10 +48,13 @@ StatusOr<std::vector<double>> PrecRecCorrScores(
         stats.SupportsExactLikelihood() && !options.force_term_summation;
   }
 
+  PatternScoringPlan plan;
+  const CorrelationModel* model_ptr = &model;
   // Clusters on a direct strategy score all their distinct patterns in one
   // batched pass (no per-query memo mutexes, no repeated training-pattern
   // rescans); the per-pattern scorer remains for term summation.
-  auto batch = [&](size_t c, const std::vector<PatternKey>& keys,
+  plan.batch = [model_ptr, use_calibrated, use_direct](
+                   size_t c, const std::vector<PatternKey>& keys,
                    std::vector<PatternLikelihood>* out) -> StatusOr<bool> {
     if (!use_calibrated[c] && !use_direct[c]) return false;
     std::vector<PatternQuery> queries(keys.size());
@@ -67,7 +62,7 @@ StatusOr<std::vector<double>> PrecRecCorrScores(
       queries[i] = {keys[i].providers, keys[i].nonproviders};
     }
     std::vector<std::pair<double, double>> pairs;
-    FUSER_RETURN_IF_ERROR(model.cluster_stats[c]->ScoreAllPatterns(
+    FUSER_RETURN_IF_ERROR(model_ptr->cluster_stats[c]->ScoreAllPatterns(
         queries, /*calibrated=*/use_calibrated[c] != 0, &pairs));
     for (size_t i = 0; i < keys.size(); ++i) {
       (*out)[i].given_true = pairs[i].first;
@@ -75,10 +70,15 @@ StatusOr<std::vector<double>> PrecRecCorrScores(
     }
     return true;
   };
-  // Per-pattern fallback (explicit or smoothed statistics).
-  auto scorer = [&](size_t c, const PatternKey& key, double* given_true,
-                    double* given_false) -> Status {
-    const JointStatsProvider& stats = *model.cluster_stats[c];
+  // Per-pattern path: direct strategies answer one pattern at a time (the
+  // serving layer's ad-hoc observations), with term summation as the
+  // fallback for explicit or smoothed statistics.
+  const int max_exact_nonproviders = options.max_exact_nonproviders;
+  plan.scorer = [model_ptr, use_calibrated, use_direct,
+                 max_exact_nonproviders](size_t c, const PatternKey& key,
+                                         double* given_true,
+                                         double* given_false) -> Status {
+    const JointStatsProvider& stats = *model_ptr->cluster_stats[c];
     if (use_calibrated[c]) {
       return stats.CalibratedPatternLikelihood(key.providers,
                                                key.nonproviders, given_true,
@@ -88,7 +88,7 @@ StatusOr<std::vector<double>> PrecRecCorrScores(
       return stats.ExactPatternLikelihood(key.providers, key.nonproviders,
                                           given_true, given_false);
     }
-    if (PopCount(key.nonproviders) > options.max_exact_nonproviders) {
+    if (PopCount(key.nonproviders) > max_exact_nonproviders) {
       return Status::FailedPrecondition(
           "too many non-providers for term summation; raise "
           "max_exact_nonproviders or use the elastic approximation");
@@ -96,23 +96,40 @@ StatusOr<std::vector<double>> PrecRecCorrScores(
     return TermSummationLikelihood(stats, key.providers, key.nonproviders,
                                    given_true, given_false);
   };
-  FUSER_ASSIGN_OR_RETURN(
-      std::vector<std::vector<PatternLikelihood>> likelihood,
-      ScorePatterns(*grouping, options.num_threads, scorer, batch, pool));
 
   // Combine across clusters: likelihoods multiply (cluster independence).
   // With calibrated (natural) likelihoods, the prior must be the empirical
   // training class balance; the paper's alpha-scaled parameterization
   // instead bakes the class ratio into its q values and pairs with the
   // configured alpha.
-  double alpha = model.alpha;
+  plan.alpha = model.alpha;
   for (size_t c = 0; c < num_clusters; ++c) {
     if (use_calibrated[c]) {
-      alpha = model.cluster_stats[c]->EmpiricalPriorTrue();
+      plan.alpha = model.cluster_stats[c]->EmpiricalPriorTrue();
       break;
     }
   }
-  return CombinePatternScores(*grouping, likelihood, alpha,
+  return plan;
+}
+
+StatusOr<std::vector<double>> PrecRecCorrScores(
+    const Dataset& dataset, const CorrelationModel& model,
+    const PrecRecCorrOptions& options, const PatternGrouping* grouping,
+    ThreadPool* pool) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  FUSER_ASSIGN_OR_RETURN(PatternScoringPlan plan,
+                         MakePrecRecCorrPlan(model, options));
+  PatternGrouping local;
+  FUSER_ASSIGN_OR_RETURN(
+      grouping, GetOrBuildGrouping(dataset, model, grouping, &local,
+                                   options.num_threads, pool));
+  FUSER_ASSIGN_OR_RETURN(
+      std::vector<std::vector<PatternLikelihood>> likelihood,
+      ScorePatterns(*grouping, options.num_threads, plan.scorer, plan.batch,
+                    pool));
+  return CombinePatternScores(*grouping, likelihood, plan.alpha,
                               options.num_threads, pool);
 }
 

@@ -70,6 +70,16 @@ StatusOr<std::vector<double>> PrecRecCorrScores(
     const PrecRecCorrOptions& options,
     const PatternGrouping* grouping = nullptr, ThreadPool* pool = nullptr);
 
+/// PrecRecCorr's pattern-scoring plan over `model`: the per-pattern scorer
+/// (with the batched whole-cluster path) plus the combine prior. The plan
+/// captures `model` by pointer and every per-cluster strategy decision by
+/// value, so it can be stored in a FusionSnapshot and invoked from any
+/// reader thread — `model` must outlive the plan (snapshots share
+/// ownership of it). PrecRecCorrScores is exactly this plan run through
+/// ScorePatterns + CombinePatternScores.
+StatusOr<PatternScoringPlan> MakePrecRecCorrPlan(
+    const CorrelationModel& model, const PrecRecCorrOptions& options);
+
 /// Computes the per-cluster likelihood pair for observation (P, N) by the
 /// literal inclusion-exclusion sum. Exposed for tests and for the worked
 /// examples of Section 4.1.

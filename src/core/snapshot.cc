@@ -1,0 +1,36 @@
+#include "core/snapshot.h"
+
+#include <utility>
+
+namespace fuser {
+
+const MethodServing* FusionSnapshot::FindServing(
+    const std::string& name) const {
+  auto it = serving.find(name);
+  return it != serving.end() ? it->second.get() : nullptr;
+}
+
+StatusOr<std::shared_ptr<const MethodServing>> BuildMethodServing(
+    const FusionMethod& method, const MethodContext& context,
+    const MethodSpec& spec) {
+  auto serving = std::make_shared<MethodServing>();
+  serving->spec = spec;
+  serving->threshold = method.DefaultThreshold(spec, *context.options);
+  FUSER_RETURN_IF_ERROR(method.Prepare(context));
+  if (method.supports_pattern_serving() && context.grouping != nullptr) {
+    FUSER_ASSIGN_OR_RETURN(PatternScoringPlan plan,
+                           method.MakeScoringPlan(context, spec));
+    FUSER_ASSIGN_OR_RETURN(
+        std::vector<std::vector<PatternLikelihood>> likelihood,
+        ScorePatterns(*context.grouping, context.num_threads, plan.scorer,
+                      plan.batch, context.pool));
+    serving->pattern_based = true;
+    serving->table = BuildPatternPosteriorTable(likelihood, plan.alpha);
+    serving->adhoc_scorer = std::move(plan.scorer);
+  } else {
+    FUSER_ASSIGN_OR_RETURN(serving->dense, method.Score(context, spec));
+  }
+  return std::shared_ptr<const MethodServing>(std::move(serving));
+}
+
+}  // namespace fuser
