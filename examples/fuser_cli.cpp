@@ -1,20 +1,27 @@
-// Command-line driver: fuse a TSV observation dump with any method.
+// Command-line driver: fuse a TSV observation dump with any method, and
+// save/restore the trained engine state as a snapshot.
 //
 //   fuser_cli <observations.tsv> <gold.tsv> <method> [options]
+//   fuser_cli --load=SNAPSHOT <method> [options]
 //     method:  any method registered in the MethodRegistry, or "runall"
 //              (score the full registry lineup over one shared model and
-//              pattern grouping); run with no arguments for the lineup
+//              pattern grouping); run with --help for the lineup
 //     options: --alpha=0.5 --threshold=0.5 --scopes --cluster
 //              --threads=N (0 = one per hardware thread)
 //              --runall (same as method "runall")
 //              --train-fraction=1.0 --seed=7 --out=fused.tsv
+//              --save=PATH (persist the trained state as a snapshot)
+//              --load=PATH (warm-start from a snapshot instead of TSVs;
+//                           model parameters come from the file)
 //
-// Prints evaluation metrics on the gold standard, one machine-parseable
-// JSON summary line (the last stdout line, `{"fuser_cli": ...}`), and
+// Unknown flags are an error (exit code 2), not silently ignored. Prints
+// evaluation metrics on the gold standard, one machine-parseable JSON
+// summary line (the last stdout line, `{"fuser_cli": ...}`), and
 // (optionally) writes per-triple probabilities.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,6 +30,7 @@
 #include "core/engine.h"
 #include "model/dataset_io.h"
 #include "model/split.h"
+#include "persist/snapshot_io.h"
 
 namespace {
 
@@ -38,14 +46,30 @@ std::string MethodLineup() {
   return lineup;
 }
 
-void Usage(const char* argv0) {
+void Usage(const char* argv0, std::FILE* out) {
   std::fprintf(
-      stderr,
-      "usage: %s <observations.tsv> <gold.tsv> <method> [--alpha=A]\n"
-      "          [--threshold=T] [--scopes] [--cluster] [--threads=N]\n"
-      "          [--runall] [--train-fraction=F] [--seed=S] [--out=PATH]\n"
-      "  method: %s | runall\n",
-      argv0, MethodLineup().c_str());
+      out,
+      "usage: %s <observations.tsv> <gold.tsv> <method> [options]\n"
+      "       %s --load=SNAPSHOT <method> [options]\n"
+      "  method: %s | runall\n"
+      "options:\n"
+      "  --alpha=A           a priori probability Pr(t) (default 0.5)\n"
+      "  --threshold=T       decision threshold (default 0.5)\n"
+      "  --scopes            open-world scopes (silence counts only in-domain)\n"
+      "  --cluster           cluster sources by pairwise correlation\n"
+      "  --threads=N         worker threads; 0 = one per hardware thread\n"
+      "  --runall            score every registered method over one shared\n"
+      "                      model and pattern grouping (RunAll)\n"
+      "  --train-fraction=F  stratified train split; evaluate on the rest\n"
+      "  --seed=S            split seed (default 7)\n"
+      "  --out=PATH          write per-triple probabilities as TSV\n"
+      "  --save=PATH         persist the trained engine state (dataset,\n"
+      "                      model, grouping, serving tables) as a snapshot\n"
+      "  --load=PATH         warm-start from a snapshot instead of TSVs;\n"
+      "                      incompatible with flags that would retrain the\n"
+      "                      model (--alpha/--scopes/--cluster/...)\n"
+      "  --help              this message\n",
+      argv0, argv0, MethodLineup().c_str());
 }
 
 /// NaN-safe JSON number (AUCs are NaN on single-class eval masks; JSON has
@@ -59,36 +83,43 @@ std::string JsonNum(double v) {
 
 int main(int argc, char** argv) {
   using namespace fuser;
-  if (argc < 4) {
-    Usage(argv[0]);
-    return 2;
-  }
-  const std::string obs_path = argv[1];
-  const std::string gold_path = argv[2];
-  const std::string method = argv[3];
 
   EngineOptions options;
   double train_fraction = 1.0;
   uint64_t seed = 7;
   std::string out_path;
-  bool runall = method == "runall";
-  for (int i = 4; i < argc; ++i) {
+  std::string save_path;
+  std::string load_path;
+  bool runall = false;
+  std::vector<std::string> positionals;
+  // Flags that pick model parameters; meaningless (and rejected) together
+  // with --load, where those parameters come from the snapshot.
+  std::vector<std::string> training_flags;
+
+  for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     double value = 0.0;
-    if (StartsWith(arg, "--alpha=") &&
-        ParseDouble(arg.substr(8), &value)) {
+    if (arg == "--help" || arg == "-h") {
+      Usage(argv[0], stdout);
+      return 0;
+    } else if (StartsWith(arg, "--alpha=") &&
+               ParseDouble(arg.substr(8), &value)) {
       options.model.alpha = value;
+      training_flags.push_back("--alpha");
     } else if (StartsWith(arg, "--threshold=") &&
                ParseDouble(arg.substr(12), &value)) {
       options.decision_threshold = value;
+      training_flags.push_back("--threshold");
     } else if (arg == "--scopes") {
       options.model.use_scopes = true;
+      training_flags.push_back("--scopes");
     } else if (arg == "--cluster") {
       options.model.enable_clustering = true;
+      training_flags.push_back("--cluster");
     } else if (StartsWith(arg, "--threads=")) {
       size_t threads = 0;
       if (!ParseSizeT(arg.substr(10), &threads)) {
-        Usage(argv[0]);
+        std::fprintf(stderr, "bad value in: %s\n", arg.c_str());
         return 2;
       }
       options.num_threads = threads;
@@ -97,30 +128,52 @@ int main(int argc, char** argv) {
     } else if (StartsWith(arg, "--train-fraction=") &&
                ParseDouble(arg.substr(17), &value)) {
       train_fraction = value;
+      training_flags.push_back("--train-fraction");
     } else if (StartsWith(arg, "--seed=")) {
       size_t s = 0;
       if (!ParseSizeT(arg.substr(7), &s)) {
-        Usage(argv[0]);
+        std::fprintf(stderr, "bad value in: %s\n", arg.c_str());
         return 2;
       }
       seed = s;
+      training_flags.push_back("--seed");
     } else if (StartsWith(arg, "--out=")) {
       out_path = arg.substr(6);
-    } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      Usage(argv[0]);
+    } else if (StartsWith(arg, "--save=")) {
+      save_path = arg.substr(7);
+    } else if (StartsWith(arg, "--load=")) {
+      load_path = arg.substr(7);
+    } else if (StartsWith(arg, "--")) {
+      std::fprintf(stderr, "unknown option: %s (see --help)\n", arg.c_str());
       return 2;
+    } else {
+      positionals.push_back(arg);
     }
   }
 
-  // Resolve the lineup: one named method, or every registered method with
-  // its default parameters (--runall shares the model and the pattern
-  // grouping across all of them via RunAll). A named method alongside
-  // --runall keeps its explicit parameters — it replaces its kind's
-  // default entry in the lineup (e.g. `elastic-5 --runall` runs the
-  // lineup with elastic at level 5).
+  const bool load_mode = !load_path.empty();
+  if (load_mode && !training_flags.empty()) {
+    std::fprintf(stderr,
+                 "%s cannot be combined with --load: model parameters come "
+                 "from the snapshot\n",
+                 training_flags.front().c_str());
+    return 2;
+  }
+  if (positionals.size() != (load_mode ? 1u : 3u)) {
+    Usage(argv[0], stderr);
+    return 2;
+  }
+  const std::string method = load_mode ? positionals[0] : positionals[2];
+  if (method == "runall") runall = true;
+
+  // Resolve the lineup before touching any file: one named method, or
+  // every registered method with its default parameters (--runall shares
+  // the model and the pattern grouping across all of them via RunAll). A
+  // named method alongside --runall keeps its explicit parameters — it
+  // replaces its kind's default entry in the lineup (e.g. `elastic-5
+  // --runall` runs the lineup with elastic at level 5).
   std::vector<MethodSpec> specs;
-  if (!runall || method != "runall") {
+  if (method != "runall") {
     auto spec = ParseMethodSpec(method);
     if (!spec.ok()) {
       std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
@@ -137,36 +190,77 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto dataset = LoadDataset(obs_path, gold_path);
-  if (!dataset.ok()) {
-    std::fprintf(stderr, "load failed: %s\n",
-                 dataset.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("loaded: %zu sources, %zu triples, %zu labeled (%zu true)\n",
-              dataset->num_sources(), dataset->num_triples(),
-              dataset->num_labeled(), dataset->num_true());
-
-  DynamicBitset train = dataset->labeled_mask();
-  DynamicBitset eval = dataset->labeled_mask();
-  if (train_fraction < 1.0) {
-    Rng rng(seed);
-    auto split = StratifiedSplit(*dataset, train_fraction, &rng);
-    if (!split.ok()) {
-      std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+  // ---- Materialize the dataset and a prepared (or warm-started) engine.
+  std::unique_ptr<Dataset> owned_dataset;
+  std::unique_ptr<FusionEngine> engine;
+  if (load_mode) {
+    auto loaded = LoadSnapshot(load_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
       return 1;
     }
-    train = split->train;
-    eval = split->test;
+    owned_dataset = std::move(loaded->dataset);
+    engine = std::make_unique<FusionEngine>(owned_dataset.get(), options);
+    Status warmed = engine->WarmStart(*loaded);
+    if (!warmed.ok()) {
+      std::fprintf(stderr, "%s\n", warmed.ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "warm-started from %s: %zu sources, %zu triples, %zu labeled, "
+        "%zu serving entries\n",
+        load_path.c_str(), owned_dataset->num_sources(),
+        owned_dataset->num_triples(), owned_dataset->num_labeled(),
+        loaded->snapshot->serving.size());
+  } else {
+    auto dataset = LoadDataset(positionals[0], positionals[1]);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    owned_dataset = std::make_unique<Dataset>(std::move(*dataset));
+    std::printf("loaded: %zu sources, %zu triples, %zu labeled (%zu true)\n",
+                owned_dataset->num_sources(), owned_dataset->num_triples(),
+                owned_dataset->num_labeled(), owned_dataset->num_true());
   }
 
-  FusionEngine engine(&*dataset, options);
-  Status prepared = engine.Prepare(train);
-  if (!prepared.ok()) {
-    std::fprintf(stderr, "%s\n", prepared.ToString().c_str());
-    return 1;
+  DynamicBitset eval = owned_dataset->labeled_mask();
+  if (load_mode) {
+    // Respect the persisted split: when the snapshot was trained on a
+    // strict subset of the labels, evaluate on the held-out rest (as the
+    // saving run did), not on train-contaminated metrics.
+    const DynamicBitset& train = engine->train_mask();
+    if (!(train == eval)) {
+      eval.AndNotWith(train);
+      std::printf("evaluating on the %zu labeled triples held out of the "
+                  "snapshot's training set\n",
+                  eval.Count());
+    }
   }
-  auto runs = engine.RunAll(specs);
+  if (!load_mode) {
+    DynamicBitset train = owned_dataset->labeled_mask();
+    if (train_fraction < 1.0) {
+      Rng rng(seed);
+      auto split = StratifiedSplit(*owned_dataset, train_fraction, &rng);
+      if (!split.ok()) {
+        std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+        return 1;
+      }
+      train = split->train;
+      eval = split->test;
+    }
+    engine = std::make_unique<FusionEngine>(
+        static_cast<const Dataset*>(owned_dataset.get()), options);
+    Status prepared = engine->Prepare(train);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s\n", prepared.ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto runs = engine->RunAll(specs);
   if (!runs.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
                  runs.status().ToString().c_str());
@@ -176,7 +270,7 @@ int main(int argc, char** argv) {
   std::string json = "[";
   for (size_t i = 0; i < runs->size(); ++i) {
     const FusionRun& run = (*runs)[i];
-    auto summary = engine.Evaluate(run, eval);
+    auto summary = engine->Evaluate(run, eval);
     if (!summary.ok()) {
       std::fprintf(stderr, "%s: %s\n", run.spec.Name().c_str(),
                    summary.status().ToString().c_str());
@@ -203,8 +297,8 @@ int main(int argc, char** argv) {
     // single-method invocation is the interesting case for --out).
     const FusionRun& run = (*runs)[0];
     std::vector<CsvRow> rows;
-    for (TripleId t = 0; t < dataset->num_triples(); ++t) {
-      const Triple& triple = dataset->triple(t);
+    for (TripleId t = 0; t < owned_dataset->num_triples(); ++t) {
+      const Triple& triple = owned_dataset->triple(t);
       rows.push_back({triple.subject, triple.predicate, triple.object,
                       StrFormat("%.4f", run.scores[t])});
     }
@@ -217,12 +311,32 @@ int main(int argc, char** argv) {
                 out_path.c_str(), run.spec.Name().c_str());
   }
 
+  if (!save_path.empty()) {
+    // Materialize serving state for the scored lineup, then persist the
+    // whole warm-start package (dataset + model + grouping + serving).
+    auto published = engine->PublishSnapshot(specs);
+    if (!published.ok()) {
+      std::fprintf(stderr, "publish failed: %s\n",
+                   published.status().ToString().c_str());
+      return 1;
+    }
+    Status saved = engine->SaveSnapshot(save_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved snapshot to %s (%zu serving entries)\n",
+                save_path.c_str(), (*published)->serving.size());
+  }
+
   // Machine-parseable summary: always the last stdout line.
   std::printf(
       "{\"fuser_cli\": {\"sources\": %zu, \"triples\": %zu, "
       "\"labeled\": %zu, \"threads\": %zu, \"train_fraction\": %s, "
-      "\"methods\": %s}}\n",
-      dataset->num_sources(), dataset->num_triples(), dataset->num_labeled(),
-      options.num_threads, JsonNum(train_fraction).c_str(), json.c_str());
+      "\"warm_start\": %s, \"methods\": %s}}\n",
+      owned_dataset->num_sources(), owned_dataset->num_triples(),
+      owned_dataset->num_labeled(), options.num_threads,
+      JsonNum(train_fraction).c_str(), load_mode ? "true" : "false",
+      json.c_str());
   return 0;
 }

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the checked-in bench baselines.
+
+Every standalone bench (bench_streaming, bench_inference, bench_serving,
+bench_persist) prints one JSON object; the repo checks in baselines as
+BENCH_<name>.json. This script compares a fresh run against those baselines
+and fails the build when a tracked metric regresses beyond the tolerance.
+
+Only *ratio-style* metrics (speedups: optimized-vs-baseline wall time
+measured in the same process) are gated, and only with a generous tolerance
+(default 2.5x), because shared CI runners have noisy absolute timings but
+keep intra-process ratios fairly stable. Boolean correctness gates
+(scores_identical) must hold exactly. Absolute timings and qps are reported
+for the uploaded artifacts but never gated.
+
+Usage:
+  check_bench.py --baseline-dir . --current-dir bench-out [--tolerance 2.5]
+
+The current dir holds files named like the baselines (BENCH_persist.json,
+...); each file's last non-empty line must be the bench's JSON object.
+Baselines with no matching current file fail the gate (the bench silently
+not running is itself a regression).
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# bench name (the JSON "bench" field) -> ratio metrics gated for it.
+RATIO_METRICS = {
+    "streaming": ["speedup"],
+    "inference": ["grouping_speedup", "runall_speedup"],
+    "serving": [],  # qps/latency are absolute -> reported, not gated
+    "persist": ["warmstart_speedup"],
+}
+
+# Boolean metrics that must be true in the current run whenever the
+# baseline recorded them as true.
+BOOL_METRICS = ["scores_identical"]
+
+
+def load_bench_json(path):
+    """Parses the last non-empty line of `path` as a bench JSON object."""
+    with open(path, "r", encoding="utf-8") as f:
+        lines = [line.strip() for line in f if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty file")
+    try:
+        obj = json.loads(lines[-1])
+    except json.JSONDecodeError as e:
+        raise ValueError(f"{path}: last line is not JSON: {e}") from e
+    if not isinstance(obj, dict) or "bench" not in obj:
+        raise ValueError(f"{path}: not a bench JSON object (no 'bench' key)")
+    return obj
+
+
+def check_file(baseline_path, current_path, tolerance):
+    """Returns a list of (ok, description) rows for one baseline file."""
+    rows = []
+    baseline = load_bench_json(baseline_path)
+    name = baseline["bench"]
+    if not os.path.exists(current_path):
+        return [(False, f"{name}: current run missing ({current_path})")]
+    current = load_bench_json(current_path)
+    if current.get("bench") != name:
+        return [(False,
+                 f"{name}: current file reports bench "
+                 f"'{current.get('bench')}'")]
+
+    for metric in RATIO_METRICS.get(name, []):
+        if metric not in baseline:
+            rows.append((False, f"{name}.{metric}: missing from baseline"))
+            continue
+        if metric not in current:
+            rows.append((False, f"{name}.{metric}: missing from current run"))
+            continue
+        base, cur = float(baseline[metric]), float(current[metric])
+        floor = base / tolerance
+        ok = cur >= floor
+        rows.append((ok,
+                     f"{name}.{metric}: current {cur:.2f} vs baseline "
+                     f"{base:.2f} (floor {floor:.2f} at {tolerance}x "
+                     f"tolerance)"))
+
+    for metric in BOOL_METRICS:
+        if baseline.get(metric) is True:
+            ok = current.get(metric) is True
+            rows.append((ok, f"{name}.{metric}: {current.get(metric)}"))
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory holding the checked-in BENCH_*.json")
+    parser.add_argument("--current-dir", required=True,
+                        help="directory holding this run's bench JSON files")
+    parser.add_argument("--tolerance", type=float, default=2.5,
+                        help="fail when a ratio metric drops below "
+                             "baseline/tolerance (default 2.5)")
+    args = parser.parse_args()
+
+    baselines = sorted(glob.glob(os.path.join(args.baseline_dir,
+                                              "BENCH_*.json")))
+    if not baselines:
+        print(f"no BENCH_*.json baselines under {args.baseline_dir}",
+              file=sys.stderr)
+        return 1
+
+    failed = False
+    for baseline_path in baselines:
+        current_path = os.path.join(args.current_dir,
+                                    os.path.basename(baseline_path))
+        try:
+            rows = check_file(baseline_path, current_path, args.tolerance)
+        except ValueError as e:
+            rows = [(False, str(e))]
+        for ok, description in rows:
+            print(f"{'PASS' if ok else 'FAIL'}  {description}")
+            failed |= not ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -112,6 +112,14 @@ void ForEachKSubset(Mask set, int k, Fn&& fn) {
 /// (n <= 64); saturates at UINT64_MAX.
 uint64_t BinomialCoefficient(int n, int k);
 
+/// 64-bit FNV-1a over a byte range, word-chunked for throughput and
+/// chainable via `seed`. Any single-byte change anywhere in the input
+/// changes the result (every step is a bijection of the running state) —
+/// the property the snapshot checksums and the dataset content
+/// fingerprint rely on.
+uint64_t HashBytes64(const void* data, size_t size,
+                     uint64_t seed = 0xCBF29CE484222325ULL);
+
 /// In-place 64x64 bit-matrix transpose: after the call, bit j of m[i]
 /// equals bit i of the original m[j]. Bit k of word w is addressed as
 /// (w >> k) & 1, i.e. the LSB-first convention used by DynamicBitset.

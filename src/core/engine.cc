@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "persist/snapshot_io.h"
 
 namespace fuser {
 
@@ -121,6 +122,72 @@ StatusOr<std::shared_ptr<const FusionSnapshot>> FusionEngine::PublishSnapshot(
   }
   Publish(std::move(serving));
   return CurrentSnapshot();
+}
+
+Status FusionEngine::WarmStart(const std::string& path) {
+  FUSER_ASSIGN_OR_RETURN(LoadedSnapshot loaded,
+                         LoadSnapshotFor(path, *dataset_));
+  return WarmStart(loaded);
+}
+
+Status FusionEngine::WarmStart(const LoadedSnapshot& loaded) {
+  if (loaded.snapshot == nullptr) {
+    return Status::InvalidArgument("loaded snapshot is empty");
+  }
+  const FusionSnapshot& snap = *loaded.snapshot;
+  if (loaded.dataset != nullptr && loaded.dataset.get() != dataset_) {
+    // The loaded grouping/serving state is wired to loaded.dataset;
+    // adopting it in an engine over a different object would leave scores
+    // computed against one dataset and Updates applied to another.
+    return Status::InvalidArgument(
+        "engine must be constructed over the loaded snapshot's dataset");
+  }
+  if (snap.num_triples != dataset_->num_triples() ||
+      snap.num_sources != dataset_->num_sources()) {
+    return Status::InvalidArgument(
+        "snapshot does not belong to this dataset (size mismatch)");
+  }
+  if (snap.dataset_version != dataset_->version()) {
+    return Status::InvalidArgument(
+        "snapshot dataset_version " + std::to_string(snap.dataset_version) +
+        " does not match the dataset's version " +
+        std::to_string(dataset_->version()) +
+        " (the dataset changed since the snapshot was saved)");
+  }
+  if (loaded.train_mask.size() != dataset_->num_triples()) {
+    return Status::InvalidArgument("loaded train mask size mismatch");
+  }
+  if (snap.grouping != nullptr && snap.grouping->dataset != dataset_) {
+    return Status::InvalidArgument(
+        "loaded grouping is attached to a different dataset");
+  }
+  // Adopt the saved options wholesale — they are what the persisted model
+  // and serving state were computed under, and scores must reproduce
+  // exactly — except the worker-thread count, which is a property of the
+  // host machine rather than of the trained state (scores are thread-count
+  // invariant by contract; a snapshot from a 64-core trainer must not pin
+  // a 2-core server to 64 threads).
+  const size_t host_threads = options_.num_threads;
+  options_ = snap.options;
+  options_.num_threads = host_threads;
+  train_mask_ = loaded.train_mask;
+  quality_ = snap.quality;
+  model_ = snap.model;
+  grouping_ = snap.grouping;
+  dataset_version_ = snap.dataset_version;
+  prepared_ = true;
+  Publish(snap.serving);
+  return Status::OK();
+}
+
+Status FusionEngine::SaveSnapshot(const std::string& path) const {
+  std::shared_ptr<const FusionSnapshot> snapshot = CurrentSnapshot();
+  if (snapshot == nullptr) {
+    return Status::FailedPrecondition(
+        "nothing to save: call Prepare (and PublishSnapshot) first");
+  }
+  FUSER_RETURN_IF_ERROR(CheckDatasetVersion());
+  return ::fuser::SaveSnapshot(path, *dataset_, train_mask_, *snapshot);
 }
 
 Status FusionEngine::CheckDatasetVersion() const {

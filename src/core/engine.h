@@ -46,6 +46,8 @@
 
 namespace fuser {
 
+struct LoadedSnapshot;  // src/persist/snapshot_io.h
+
 /// Output of one method execution.
 struct FusionRun {
   MethodSpec spec;
@@ -114,6 +116,34 @@ class FusionEngine {
   ///
   /// Requires the mutable constructor and a prior Prepare.
   Status Update(const ObservationBatch& batch);
+
+  /// Warm start (src/persist/): adopts the engine state saved in the
+  /// snapshot file at `path` — training mask, source quality, correlation
+  /// model, pattern grouping, and per-method serving entries — and
+  /// publishes it as a servable snapshot, all without running any of the
+  /// training pipeline. The engine's dataset must be the one the snapshot
+  /// was saved against, at the same version (triples streamed in after the
+  /// save mean the state no longer matches; that is InvalidArgument — use
+  /// Update to move forward, or re-Prepare). Afterwards the engine behaves
+  /// exactly like the one that saved the file: Run/RunAll scores are
+  /// byte-identical, and Update applies incrementally on top through the
+  /// usual clone-on-write path. Replaces the options the engine was
+  /// constructed with by the saved ones — except num_threads, which stays
+  /// the engine's own (thread count belongs to the host, not the trained
+  /// state; scores are thread-count invariant).
+  Status WarmStart(const std::string& path);
+
+  /// Same, from an already-loaded snapshot (LoadSnapshot). The engine must
+  /// have been constructed over `loaded.dataset.get()` (or, for
+  /// LoadSnapshotFor results, over the dataset they were attached to).
+  Status WarmStart(const LoadedSnapshot& loaded);
+
+  /// Persists the latest published snapshot plus the dataset and training
+  /// mask behind it (see persist::SaveSnapshot). Publish the serving
+  /// entries you want warm-started first (PublishSnapshot); a snapshot
+  /// published before the model/grouping were built saves without them and
+  /// the warm-started engine rebuilds those lazily.
+  Status SaveSnapshot(const std::string& path) const;
 
   /// Runs one method over the full dataset.
   StatusOr<FusionRun> Run(const MethodSpec& spec);

@@ -225,6 +225,95 @@ StatusOr<std::unique_ptr<JointStatsProvider>> EmpiricalJointStats::Clone()
   return std::unique_ptr<JointStatsProvider>(new EmpiricalJointStats(*this));
 }
 
+EmpiricalJointStatsState EmpiricalJointStats::ExportState() const {
+  EmpiricalJointStatsState state;
+  state.k = k_;
+  state.options = options_;
+  state.total_true = total_true_;
+  state.total_false = total_false_;
+  auto export_patterns = [](const std::vector<Pattern>& patterns,
+                            std::vector<EmpiricalJointStatsState::PatternCount>*
+                                out) {
+    out->reserve(patterns.size());
+    for (const Pattern& p : patterns) {
+      out->push_back({p.providers, p.scope, p.count});
+    }
+  };
+  export_patterns(true_patterns_, &state.true_patterns);
+  export_patterns(false_patterns_, &state.false_patterns);
+  return state;
+}
+
+StatusOr<std::unique_ptr<EmpiricalJointStats>> EmpiricalJointStats::FromState(
+    const EmpiricalJointStatsState& state) {
+  if (state.k < 1 || state.k > 64) {
+    return Status::InvalidArgument("joint stats state: k must be in [1, 64]");
+  }
+  if (state.options.alpha <= 0.0 || state.options.alpha >= 1.0) {
+    return Status::InvalidArgument("joint stats state: alpha not in (0,1)");
+  }
+  if (state.options.smoothing < 0.0) {
+    return Status::InvalidArgument("joint stats state: negative smoothing");
+  }
+  auto stats = std::unique_ptr<EmpiricalJointStats>(new EmpiricalJointStats());
+  stats->k_ = state.k;
+  stats->options_ = state.options;
+  const Mask full = FullMask(state.k);
+  auto import_patterns =
+      [&](const std::vector<EmpiricalJointStatsState::PatternCount>& in,
+          std::vector<Pattern>* out,
+          std::unordered_map<std::pair<Mask, Mask>, size_t, MaskPairHash>*
+              index,
+          uint64_t expected_total) -> Status {
+    out->reserve(in.size());
+    index->reserve(in.size());
+    uint64_t total = 0;
+    for (const auto& p : in) {
+      if ((p.providers & ~full) != 0 || (p.scope & ~full) != 0) {
+        return Status::InvalidArgument(
+            "joint stats state: pattern mask outside cluster");
+      }
+      auto [it, inserted] =
+          index->emplace(std::make_pair(p.providers, p.scope), out->size());
+      (void)it;
+      if (!inserted) {
+        return Status::InvalidArgument(
+            "joint stats state: duplicate pattern");
+      }
+      out->push_back({p.providers, p.scope, p.count});
+      total += p.count;
+    }
+    if (total != expected_total) {
+      return Status::InvalidArgument(
+          "joint stats state: totals disagree with pattern counts");
+    }
+    return Status::OK();
+  };
+  FUSER_RETURN_IF_ERROR(import_patterns(state.true_patterns,
+                                        &stats->true_patterns_,
+                                        &stats->true_index_,
+                                        state.total_true));
+  FUSER_RETURN_IF_ERROR(import_patterns(state.false_patterns,
+                                        &stats->false_patterns_,
+                                        &stats->false_index_,
+                                        state.total_false));
+  stats->total_true_ = static_cast<size_t>(state.total_true);
+  stats->total_false_ = static_cast<size_t>(state.total_false);
+  // SoS tables cost 3 x 2^k uint32 entries; a k that came out of a file
+  // must not be allowed to drive a multi-gigabyte allocation (a crafted
+  // snapshot with valid checksums could pick k near the 64-source cap).
+  // Beyond the budget the provider falls back to the pattern-scan path,
+  // which answers every query with the same integer counts — identical
+  // results, just slower lookups.
+  constexpr int kMaxRestoredTableBits = 24;  // 3 x 2^24 x 4 B = 192 MiB
+  if (stats->k_ <= state.options.sos_table_max_bits &&
+      stats->k_ <= kMaxRestoredTableBits) {
+    stats->has_tables_ = true;
+    stats->BuildTables();
+  }
+  return stats;
+}
+
 EmpiricalJointStats::Counts EmpiricalJointStats::ComputeCounts(
     Mask subset) const {
   Counts counts;

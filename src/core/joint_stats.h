@@ -87,9 +87,10 @@ class JointStatsProvider {
   /// "all of `providers` provide t, none of `nonproviders` does", via the
   /// inclusion-exclusion identity (Eqs. 10-11 collapse to exact pattern
   /// counts when all parameters share denominators).
-  virtual Status ExactPatternLikelihood(Mask providers, Mask nonproviders,
-                                        double* pr_given_true,
-                                        double* pr_given_false) const {
+  virtual Status ExactPatternLikelihood(Mask /*providers*/,
+                                        Mask /*nonproviders*/,
+                                        double* /*pr_given_true*/,
+                                        double* /*pr_given_false*/) const {
     return Status::Unimplemented("exact likelihood not supported");
   }
 
@@ -105,10 +106,10 @@ class JointStatsProvider {
   /// q-side sums can go negative (observed on BOOK-scale data). The
   /// calibrated form is plain naive Bayes over cluster observation
   /// patterns and is the default for empirical models.
-  virtual Status CalibratedPatternLikelihood(Mask providers,
-                                             Mask nonproviders,
-                                             double* pr_given_true,
-                                             double* pr_given_false) const {
+  virtual Status CalibratedPatternLikelihood(Mask /*providers*/,
+                                             Mask /*nonproviders*/,
+                                             double* /*pr_given_true*/,
+                                             double* /*pr_given_false*/) const {
     return Status::Unimplemented("calibrated likelihood not supported");
   }
 
@@ -163,6 +164,27 @@ struct JointStatsOptions {
   int sos_table_max_bits = 20;
 };
 
+/// The complete persistent state of an EmpiricalJointStats provider: the
+/// aggregated (providers, scope) -> count pattern lists per class, plus the
+/// options they were counted under. Everything else the provider holds
+/// (index maps, sum-over-supersets tables, memo caches) is derived
+/// deterministically from these fields, so ExportState -> FromState
+/// round-trips to a provider that answers every query byte-identically.
+/// Pattern order is significant and preserved.
+struct EmpiricalJointStatsState {
+  struct PatternCount {
+    Mask providers = 0;
+    Mask scope = 0;
+    uint32_t count = 0;
+  };
+  int k = 0;
+  JointStatsOptions options;
+  uint64_t total_true = 0;
+  uint64_t total_false = 0;
+  std::vector<PatternCount> true_patterns;
+  std::vector<PatternCount> false_patterns;
+};
+
 /// Joint statistics estimated from the training triples of a dataset.
 class EmpiricalJointStats : public JointStatsProvider {
  public:
@@ -199,6 +221,17 @@ class EmpiricalJointStats : public JointStatsProvider {
   Status ApplyPatternDeltas(
       const std::vector<JointPatternDelta>& deltas) override;
   StatusOr<std::unique_ptr<JointStatsProvider>> Clone() const override;
+
+  /// Snapshot persistence (see src/persist/): exports the pattern lists
+  /// and options; FromState rebuilds the provider (index maps and SoS
+  /// tables re-derived, memos empty) so that every query answers
+  /// byte-identically to this one. FromState validates thoroughly — masks
+  /// inside the cluster, totals matching the pattern counts, no duplicate
+  /// patterns — and returns InvalidArgument on any inconsistency, so a
+  /// corrupt snapshot cannot materialize a provider that fails later.
+  EmpiricalJointStatsState ExportState() const;
+  static StatusOr<std::unique_ptr<EmpiricalJointStats>> FromState(
+      const EmpiricalJointStatsState& state);
 
   /// Raw superset counts (diagnostics and tests).
   size_t CountTrueSuperset(Mask subset) const;

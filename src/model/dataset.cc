@@ -151,7 +151,6 @@ Status Dataset::ApplyBatch(const ObservationBatch& batch,
 
   // Resize the derived structures to the new widths.
   const size_t m = dict_.size();
-  const size_t n = source_names_.size();
   const size_t num_domains = domain_names_.size();
   for (DynamicBitset& output : outputs_) output.Resize(m);
   providers_.resize(m);
@@ -199,6 +198,29 @@ Status Dataset::ApplyBatch(const ObservationBatch& batch,
   // A no-op batch (all duplicates) leaves the version alone so runs scored
   // before it stay evaluable.
   if (!delta->empty()) ++version_;
+  return Status::OK();
+}
+
+uint64_t Dataset::ContentFingerprint() const {
+  FUSER_CHECK(finalized_) << "ContentFingerprint before Finalize";
+  const uint64_t sizes[3] = {num_sources(), num_triples(), num_domains()};
+  uint64_t h = HashBytes64(sizes, sizeof(sizes));
+  h = HashBytes64(domains_.data(), domains_.size() * sizeof(DomainId), h);
+  h = HashBytes64(labels_.data(), labels_.size() * sizeof(Label), h);
+  for (const DynamicBitset& output : outputs_) {
+    h = HashBytes64(output.words(), output.num_words() * sizeof(uint64_t), h);
+  }
+  return h;
+}
+
+Status Dataset::RestoreVersion(uint64_t version) {
+  if (!finalized_) {
+    return Status::FailedPrecondition("RestoreVersion before Finalize");
+  }
+  if (version < version_) {
+    return Status::InvalidArgument("RestoreVersion cannot move backwards");
+  }
+  version_ = version;
   return Status::OK();
 }
 

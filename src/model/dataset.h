@@ -130,6 +130,23 @@ class Dataset {
   /// to detect out-of-band mutation.
   uint64_t version() const { return version_; }
 
+  /// Order-sensitive structural fingerprint of everything scoring depends
+  /// on: the sizes, every triple's domain and label, and every source's
+  /// output bitset. String contents are deliberately excluded — scores
+  /// are a function of structure and labels alone — which keeps the hash
+  /// cheap enough for the warm-start hot path. Snapshot files record it
+  /// so WarmStart can refuse a dataset whose *contents* changed even when
+  /// the sizes and the version counter happen to line up (e.g. TSVs
+  /// edited in place and reloaded). Valid after Finalize().
+  uint64_t ContentFingerprint() const;
+
+  /// Persistence hook (src/persist/): fast-forwards the change counter of
+  /// a dataset just re-materialized from a snapshot to the value the
+  /// original dataset had at save time, so engine state stamped with that
+  /// version warm-starts against the copy. Only forward jumps on a
+  /// finalized dataset are allowed — this is not a general setter.
+  Status RestoreVersion(uint64_t version);
+
   // ---- Sizes ----
 
   size_t num_sources() const { return source_names_.size(); }

@@ -1,0 +1,1039 @@
+#include "persist/snapshot_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "core/fusion_method.h"
+#include "core/joint_stats.h"
+#include "core/pattern_pipeline.h"
+#include "persist/binary_io.h"
+
+namespace fuser {
+namespace {
+
+using persist::ByteSink;
+using persist::ByteSource;
+using persist::Checksum64;
+
+constexpr char kMagic[8] = {'F', 'U', 'S', 'R', 'S', 'N', 'A', 'P'};
+constexpr size_t kHeaderFixedBytes = 16;   // magic + version + section count
+constexpr size_t kSectionEntryBytes = 32;  // id + reserved + off + size + sum
+constexpr uint32_t kMaxSections = 1024;
+
+// Section ids. New sections are additive (old readers skip unknown ids);
+// changing the layout *inside* a section bumps kSnapshotFormatVersion.
+constexpr uint32_t kSectionEngine = 1;
+constexpr uint32_t kSectionDataset = 2;
+constexpr uint32_t kSectionModel = 3;
+constexpr uint32_t kSectionGrouping = 4;
+constexpr uint32_t kSectionServing = 5;
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("corrupt snapshot: " + what);
+}
+
+/// Every section must be consumed exactly; trailing bytes mean the writer
+/// and reader disagree about the layout.
+Status ExpectExhausted(const ByteSource& src, const char* section) {
+  if (!src.exhausted()) {
+    return Corrupt(std::string("trailing bytes in ") + section + " section");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Shared field groups.
+// ---------------------------------------------------------------------------
+
+void EncodeQualityVector(const std::vector<SourceQuality>& quality,
+                         ByteSink* sink) {
+  sink->WriteU64(quality.size());
+  for (const SourceQuality& q : quality) {
+    sink->WriteDouble(q.precision);
+    sink->WriteDouble(q.recall);
+    sink->WriteDouble(q.fpr);
+    sink->WriteU64(q.provided_labeled);
+    sink->WriteU64(q.provided_true);
+    sink->WriteU64(q.scope_true);
+  }
+}
+
+Status DecodeQualityVector(ByteSource* src,
+                           std::vector<SourceQuality>* quality) {
+  size_t count = 0;
+  FUSER_RETURN_IF_ERROR(src->ReadCount(6 * 8, &count));
+  quality->resize(count);
+  for (SourceQuality& q : *quality) {
+    FUSER_RETURN_IF_ERROR(src->ReadDouble(&q.precision));
+    FUSER_RETURN_IF_ERROR(src->ReadDouble(&q.recall));
+    FUSER_RETURN_IF_ERROR(src->ReadDouble(&q.fpr));
+    uint64_t provided_labeled = 0, provided_true = 0, scope_true = 0;
+    FUSER_RETURN_IF_ERROR(src->ReadU64(&provided_labeled));
+    FUSER_RETURN_IF_ERROR(src->ReadU64(&provided_true));
+    FUSER_RETURN_IF_ERROR(src->ReadU64(&scope_true));
+    q.provided_labeled = static_cast<size_t>(provided_labeled);
+    q.provided_true = static_cast<size_t>(provided_true);
+    q.scope_true = static_cast<size_t>(scope_true);
+  }
+  return Status::OK();
+}
+
+void EncodeEngineOptions(const EngineOptions& o, ByteSink* sink) {
+  sink->WriteDouble(o.model.alpha);
+  sink->WriteDouble(o.model.smoothing);
+  sink->WriteBool(o.model.use_scopes);
+  sink->WriteBool(o.model.enable_clustering);
+  sink->WriteDouble(o.model.clustering.correlation_threshold);
+  sink->WriteU64(o.model.clustering.min_support);
+  sink->WriteU64(o.model.clustering.max_cluster_size);
+  sink->WriteI32(o.model.sos_table_max_bits);
+  sink->WriteDouble(o.decision_threshold);
+  sink->WriteU64(o.num_threads);
+  sink->WriteI32(o.three_estimates.iterations);
+  sink->WriteDouble(o.three_estimates.initial_error);
+  sink->WriteDouble(o.three_estimates.initial_difficulty);
+  sink->WriteBool(o.three_estimates.normalize);
+  sink->WriteBool(o.three_estimates.use_scopes);
+  sink->WriteI32(o.cosine.iterations);
+  sink->WriteDouble(o.cosine.initial_trust);
+  sink->WriteDouble(o.cosine.damping);
+  sink->WriteBool(o.cosine.use_scopes);
+  sink->WriteDouble(o.ltm.alpha01);
+  sink->WriteDouble(o.ltm.alpha00);
+  sink->WriteDouble(o.ltm.alpha11);
+  sink->WriteDouble(o.ltm.alpha10);
+  sink->WriteDouble(o.ltm.beta);
+  sink->WriteI32(o.ltm.burn_in);
+  sink->WriteI32(o.ltm.samples);
+  sink->WriteI32(o.ltm.thin);
+  sink->WriteU64(o.ltm.seed);
+  sink->WriteBool(o.ltm.use_scopes);
+  sink->WriteI32(o.corr.max_exact_nonproviders);
+  sink->WriteBool(o.corr.force_term_summation);
+  sink->WriteBool(o.corr.calibrated_likelihood);
+  sink->WriteU64(o.corr.num_threads);
+}
+
+Status DecodeEngineOptions(ByteSource* src, EngineOptions* o) {
+  uint64_t u64 = 0;
+  FUSER_RETURN_IF_ERROR(src->ReadDouble(&o->model.alpha));
+  FUSER_RETURN_IF_ERROR(src->ReadDouble(&o->model.smoothing));
+  FUSER_RETURN_IF_ERROR(src->ReadBool(&o->model.use_scopes));
+  FUSER_RETURN_IF_ERROR(src->ReadBool(&o->model.enable_clustering));
+  FUSER_RETURN_IF_ERROR(
+      src->ReadDouble(&o->model.clustering.correlation_threshold));
+  FUSER_RETURN_IF_ERROR(src->ReadU64(&u64));
+  o->model.clustering.min_support = static_cast<size_t>(u64);
+  FUSER_RETURN_IF_ERROR(src->ReadU64(&u64));
+  o->model.clustering.max_cluster_size = static_cast<size_t>(u64);
+  FUSER_RETURN_IF_ERROR(src->ReadI32(&o->model.sos_table_max_bits));
+  FUSER_RETURN_IF_ERROR(src->ReadDouble(&o->decision_threshold));
+  FUSER_RETURN_IF_ERROR(src->ReadU64(&u64));
+  o->num_threads = static_cast<size_t>(u64);
+  FUSER_RETURN_IF_ERROR(src->ReadI32(&o->three_estimates.iterations));
+  FUSER_RETURN_IF_ERROR(src->ReadDouble(&o->three_estimates.initial_error));
+  FUSER_RETURN_IF_ERROR(
+      src->ReadDouble(&o->three_estimates.initial_difficulty));
+  FUSER_RETURN_IF_ERROR(src->ReadBool(&o->three_estimates.normalize));
+  FUSER_RETURN_IF_ERROR(src->ReadBool(&o->three_estimates.use_scopes));
+  FUSER_RETURN_IF_ERROR(src->ReadI32(&o->cosine.iterations));
+  FUSER_RETURN_IF_ERROR(src->ReadDouble(&o->cosine.initial_trust));
+  FUSER_RETURN_IF_ERROR(src->ReadDouble(&o->cosine.damping));
+  FUSER_RETURN_IF_ERROR(src->ReadBool(&o->cosine.use_scopes));
+  FUSER_RETURN_IF_ERROR(src->ReadDouble(&o->ltm.alpha01));
+  FUSER_RETURN_IF_ERROR(src->ReadDouble(&o->ltm.alpha00));
+  FUSER_RETURN_IF_ERROR(src->ReadDouble(&o->ltm.alpha11));
+  FUSER_RETURN_IF_ERROR(src->ReadDouble(&o->ltm.alpha10));
+  FUSER_RETURN_IF_ERROR(src->ReadDouble(&o->ltm.beta));
+  FUSER_RETURN_IF_ERROR(src->ReadI32(&o->ltm.burn_in));
+  FUSER_RETURN_IF_ERROR(src->ReadI32(&o->ltm.samples));
+  FUSER_RETURN_IF_ERROR(src->ReadI32(&o->ltm.thin));
+  FUSER_RETURN_IF_ERROR(src->ReadU64(&o->ltm.seed));
+  FUSER_RETURN_IF_ERROR(src->ReadBool(&o->ltm.use_scopes));
+  FUSER_RETURN_IF_ERROR(src->ReadI32(&o->corr.max_exact_nonproviders));
+  FUSER_RETURN_IF_ERROR(src->ReadBool(&o->corr.force_term_summation));
+  FUSER_RETURN_IF_ERROR(src->ReadBool(&o->corr.calibrated_likelihood));
+  FUSER_RETURN_IF_ERROR(src->ReadU64(&u64));
+  o->corr.num_threads = static_cast<size_t>(u64);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ENGINE section: the snapshot's scalar state plus the training mask.
+// ---------------------------------------------------------------------------
+
+struct EngineSection {
+  uint64_t dataset_version = 0;
+  uint64_t dataset_fingerprint = 0;
+  uint64_t num_triples = 0;
+  uint64_t num_sources = 0;
+  uint64_t num_domains = 0;
+  EngineOptions options;
+  DynamicBitset train_mask;
+  std::vector<SourceQuality> quality;
+};
+
+std::string EncodeEngineSection(const Dataset& dataset,
+                                const DynamicBitset& train_mask,
+                                const FusionSnapshot& snapshot) {
+  ByteSink sink;
+  sink.WriteU64(snapshot.dataset_version);
+  sink.WriteU64(dataset.ContentFingerprint());
+  sink.WriteU64(snapshot.num_triples);
+  sink.WriteU64(snapshot.num_sources);
+  sink.WriteU64(dataset.num_domains());
+  EncodeEngineOptions(snapshot.options, &sink);
+  sink.WriteBitset(train_mask);
+  EncodeQualityVector(snapshot.quality, &sink);
+  return sink.data();
+}
+
+Status DecodeEngineSection(ByteSource src, EngineSection* out) {
+  FUSER_RETURN_IF_ERROR(src.ReadU64(&out->dataset_version));
+  FUSER_RETURN_IF_ERROR(src.ReadU64(&out->dataset_fingerprint));
+  FUSER_RETURN_IF_ERROR(src.ReadU64(&out->num_triples));
+  FUSER_RETURN_IF_ERROR(src.ReadU64(&out->num_sources));
+  FUSER_RETURN_IF_ERROR(src.ReadU64(&out->num_domains));
+  FUSER_RETURN_IF_ERROR(DecodeEngineOptions(&src, &out->options));
+  FUSER_RETURN_IF_ERROR(src.ReadBitset(&out->train_mask));
+  FUSER_RETURN_IF_ERROR(DecodeQualityVector(&src, &out->quality));
+  FUSER_RETURN_IF_ERROR(ExpectExhausted(src, "engine"));
+  if (out->train_mask.size() != out->num_triples) {
+    return Corrupt("train mask size disagrees with triple count");
+  }
+  if (out->quality.size() != out->num_sources) {
+    return Corrupt("quality vector size disagrees with source count");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DATASET section.
+// ---------------------------------------------------------------------------
+
+std::string EncodeDatasetSection(const Dataset& dataset) {
+  ByteSink sink;
+  sink.WriteU64(dataset.version());
+  sink.WriteU64(dataset.num_sources());
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    sink.WriteString(dataset.source_name(s));
+  }
+  sink.WriteU64(dataset.num_domains());
+  for (DomainId d = 0; d < dataset.num_domains(); ++d) {
+    sink.WriteString(dataset.domain_name(d));
+  }
+  sink.WriteU64(dataset.num_triples());
+  for (TripleId t = 0; t < dataset.num_triples(); ++t) {
+    const Triple& triple = dataset.triple(t);
+    sink.WriteString(triple.subject);
+    sink.WriteString(triple.predicate);
+    sink.WriteString(triple.object);
+    sink.WriteU32(dataset.domain(t));
+    sink.WriteU8(static_cast<uint8_t>(dataset.label(t)));
+  }
+  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
+    sink.WriteBitset(dataset.output(s));
+  }
+  return sink.data();
+}
+
+/// Re-materializes the dataset through its own construction API (AddSource
+/// / AddTriple / Provide / Finalize), so every derived index is rebuilt by
+/// exactly the code that built the original — the restored dataset is
+/// indistinguishable from the one that was saved.
+StatusOr<std::unique_ptr<Dataset>> DecodeDatasetSection(
+    ByteSource src, const EngineSection& engine) {
+  uint64_t version = 0;
+  FUSER_RETURN_IF_ERROR(src.ReadU64(&version));
+  if (version != engine.dataset_version) {
+    return Corrupt("dataset section version disagrees with engine state");
+  }
+  auto dataset = std::make_unique<Dataset>();
+
+  size_t num_sources = 0;
+  FUSER_RETURN_IF_ERROR(src.ReadCount(8, &num_sources));
+  if (num_sources != engine.num_sources) {
+    return Corrupt("dataset source count disagrees with engine state");
+  }
+  std::unordered_set<std::string> seen_sources;
+  seen_sources.reserve(num_sources);
+  for (size_t s = 0; s < num_sources; ++s) {
+    std::string name;
+    FUSER_RETURN_IF_ERROR(src.ReadString(&name));
+    if (!seen_sources.insert(name).second) {
+      return Corrupt("duplicate source name");
+    }
+    if (dataset->AddSource(name) != static_cast<SourceId>(s)) {
+      return Corrupt("source ids not dense");
+    }
+  }
+
+  size_t num_domains = 0;
+  FUSER_RETURN_IF_ERROR(src.ReadCount(8, &num_domains));
+  if (num_domains != engine.num_domains) {
+    return Corrupt("dataset domain count disagrees with engine state");
+  }
+  std::vector<std::string> domain_names(num_domains);
+  std::unordered_set<std::string> seen_domains;
+  seen_domains.reserve(num_domains);
+  for (std::string& name : domain_names) {
+    FUSER_RETURN_IF_ERROR(src.ReadString(&name));
+    if (!seen_domains.insert(name).second) {
+      return Corrupt("duplicate domain name");
+    }
+  }
+
+  size_t num_triples = 0;
+  FUSER_RETURN_IF_ERROR(src.ReadCount(3 * 8 + 4 + 1, &num_triples));
+  if (num_triples != engine.num_triples) {
+    return Corrupt("dataset triple count disagrees with engine state");
+  }
+  std::vector<uint8_t> labels(num_triples);
+  for (size_t t = 0; t < num_triples; ++t) {
+    Triple triple;
+    FUSER_RETURN_IF_ERROR(src.ReadString(&triple.subject));
+    FUSER_RETURN_IF_ERROR(src.ReadString(&triple.predicate));
+    FUSER_RETURN_IF_ERROR(src.ReadString(&triple.object));
+    uint32_t domain_id = 0;
+    FUSER_RETURN_IF_ERROR(src.ReadU32(&domain_id));
+    FUSER_RETURN_IF_ERROR(src.ReadU8(&labels[t]));
+    if (labels[t] > 2) {
+      return Corrupt("label out of range");
+    }
+    if (domain_id >= num_domains) {
+      return Corrupt("triple domain id out of range");
+    }
+    // Duplicate triples would silently collapse under interning; detect
+    // them by the id AddTriple hands back.
+    if (dataset->AddTriple(triple, domain_names[domain_id]) !=
+        static_cast<TripleId>(t)) {
+      return Corrupt("duplicate triple");
+    }
+    // Domains must intern back to their original ids (they were assigned
+    // in first-reference order, which triple order reproduces).
+    if (dataset->domain(static_cast<TripleId>(t)) != domain_id) {
+      return Corrupt("domain ids not in first-reference order");
+    }
+  }
+  for (size_t t = 0; t < num_triples; ++t) {
+    if (labels[t] != 0) {
+      dataset->SetLabel(static_cast<TripleId>(t), labels[t] == 2);
+    }
+  }
+
+  for (size_t s = 0; s < num_sources; ++s) {
+    DynamicBitset output;
+    FUSER_RETURN_IF_ERROR(src.ReadBitset(&output));
+    if (output.size() != num_triples) {
+      return Corrupt("source output bitset size mismatch");
+    }
+    output.ForEach([&](size_t t) {
+      dataset->Provide(static_cast<SourceId>(s), static_cast<TripleId>(t));
+    });
+  }
+  FUSER_RETURN_IF_ERROR(ExpectExhausted(src, "dataset"));
+  FUSER_RETURN_IF_ERROR(dataset->Finalize());
+  FUSER_RETURN_IF_ERROR(dataset->RestoreVersion(version));
+  return dataset;
+}
+
+// ---------------------------------------------------------------------------
+// MODEL section.
+// ---------------------------------------------------------------------------
+
+StatusOr<std::string> EncodeModelSection(const CorrelationModel& model) {
+  ByteSink sink;
+  sink.WriteDouble(model.alpha);
+  sink.WriteBool(model.use_scopes);
+  EncodeQualityVector(model.source_quality, &sink);
+  sink.WriteU64(model.clustering.clusters.size());
+  for (const std::vector<SourceId>& cluster : model.clustering.clusters) {
+    sink.WriteU64(cluster.size());
+    for (SourceId s : cluster) sink.WriteU32(s);
+  }
+  for (size_t c = 0; c < model.cluster_stats.size(); ++c) {
+    const auto* stats =
+        dynamic_cast<const EmpiricalJointStats*>(model.cluster_stats[c].get());
+    if (stats == nullptr) {
+      return Status::Unimplemented(
+          "only empirical correlation models can be persisted (cluster " +
+          std::to_string(c) + " has caller-supplied statistics)");
+    }
+    const EmpiricalJointStatsState state = stats->ExportState();
+    sink.WriteI32(state.k);
+    sink.WriteDouble(state.options.alpha);
+    sink.WriteDouble(state.options.smoothing);
+    sink.WriteBool(state.options.use_scopes);
+    sink.WriteI32(state.options.sos_table_max_bits);
+    sink.WriteU64(state.total_true);
+    sink.WriteU64(state.total_false);
+    for (const auto* patterns : {&state.true_patterns, &state.false_patterns}) {
+      sink.WriteU64(patterns->size());
+      for (const auto& p : *patterns) {
+        sink.WriteU64(p.providers);
+        sink.WriteU64(p.scope);
+        sink.WriteU32(p.count);
+      }
+    }
+  }
+  return sink.data();
+}
+
+StatusOr<std::shared_ptr<const CorrelationModel>> DecodeModelSection(
+    ByteSource src, const EngineSection& engine) {
+  auto model = std::make_shared<CorrelationModel>();
+  FUSER_RETURN_IF_ERROR(src.ReadDouble(&model->alpha));
+  FUSER_RETURN_IF_ERROR(src.ReadBool(&model->use_scopes));
+  FUSER_RETURN_IF_ERROR(DecodeQualityVector(&src, &model->source_quality));
+  if (model->source_quality.size() != engine.num_sources) {
+    return Corrupt("model quality vector size mismatch");
+  }
+
+  size_t num_clusters = 0;
+  FUSER_RETURN_IF_ERROR(src.ReadCount(8, &num_clusters));
+  std::vector<std::vector<SourceId>> clusters(num_clusters);
+  for (std::vector<SourceId>& cluster : clusters) {
+    size_t size = 0;
+    FUSER_RETURN_IF_ERROR(src.ReadCount(4, &size));
+    cluster.resize(size);
+    for (SourceId& s : cluster) {
+      FUSER_RETURN_IF_ERROR(src.ReadU32(&s));
+      if (s >= engine.num_sources) {
+        return Corrupt("cluster member out of range");
+      }
+    }
+  }
+  // ClusteringFromPartition validates the partition (every source exactly
+  // once) and re-derives cluster_of / index_in_cluster.
+  StatusOr<SourceClustering> clustering = ClusteringFromPartition(
+      static_cast<size_t>(engine.num_sources), std::move(clusters));
+  if (!clustering.ok()) {
+    return Corrupt("bad cluster partition: " + clustering.status().message());
+  }
+  model->clustering = std::move(clustering).value();
+
+  model->cluster_stats.reserve(model->clustering.clusters.size());
+  for (const std::vector<SourceId>& cluster : model->clustering.clusters) {
+    EmpiricalJointStatsState state;
+    FUSER_RETURN_IF_ERROR(src.ReadI32(&state.k));
+    FUSER_RETURN_IF_ERROR(src.ReadDouble(&state.options.alpha));
+    FUSER_RETURN_IF_ERROR(src.ReadDouble(&state.options.smoothing));
+    FUSER_RETURN_IF_ERROR(src.ReadBool(&state.options.use_scopes));
+    FUSER_RETURN_IF_ERROR(src.ReadI32(&state.options.sos_table_max_bits));
+    FUSER_RETURN_IF_ERROR(src.ReadU64(&state.total_true));
+    FUSER_RETURN_IF_ERROR(src.ReadU64(&state.total_false));
+    if (state.k != static_cast<int>(cluster.size())) {
+      return Corrupt("cluster stats width disagrees with cluster size");
+    }
+    for (auto* patterns : {&state.true_patterns, &state.false_patterns}) {
+      size_t count = 0;
+      FUSER_RETURN_IF_ERROR(src.ReadCount(8 + 8 + 4, &count));
+      patterns->resize(count);
+      for (auto& p : *patterns) {
+        FUSER_RETURN_IF_ERROR(src.ReadU64(&p.providers));
+        FUSER_RETURN_IF_ERROR(src.ReadU64(&p.scope));
+        FUSER_RETURN_IF_ERROR(src.ReadU32(&p.count));
+      }
+    }
+    StatusOr<std::unique_ptr<EmpiricalJointStats>> stats =
+        EmpiricalJointStats::FromState(state);
+    if (!stats.ok()) {
+      return Corrupt(stats.status().message());
+    }
+    model->cluster_stats.push_back(std::move(stats).value());
+  }
+  FUSER_RETURN_IF_ERROR(ExpectExhausted(src, "model"));
+  return std::shared_ptr<const CorrelationModel>(std::move(model));
+}
+
+// ---------------------------------------------------------------------------
+// GROUPING section.
+// ---------------------------------------------------------------------------
+
+std::string EncodeGroupingSection(const PatternGrouping& grouping) {
+  ByteSink sink;
+  sink.WriteU64(grouping.num_triples);
+  sink.WriteU64(grouping.num_clusters());
+  for (size_t c = 0; c < grouping.num_clusters(); ++c) {
+    sink.WriteU64(grouping.distinct[c].size());
+    for (const PatternKey& key : grouping.distinct[c]) {
+      sink.WriteU64(key.providers);
+      sink.WriteU64(key.nonproviders);
+    }
+    for (size_t id : grouping.pattern_of[c]) {
+      sink.WriteU32(static_cast<uint32_t>(id));
+    }
+  }
+  return sink.data();
+}
+
+StatusOr<std::shared_ptr<const PatternGrouping>> DecodeGroupingSection(
+    ByteSource src, const Dataset& dataset, const CorrelationModel& model) {
+  auto grouping = std::make_shared<PatternGrouping>();
+  uint64_t num_triples = 0;
+  FUSER_RETURN_IF_ERROR(src.ReadU64(&num_triples));
+  if (num_triples != dataset.num_triples()) {
+    return Corrupt("grouping triple count disagrees with dataset");
+  }
+  grouping->num_triples = static_cast<size_t>(num_triples);
+  grouping->dataset = &dataset;
+  grouping->model_fingerprint = ModelGroupingFingerprint(model);
+
+  size_t num_clusters = 0;
+  FUSER_RETURN_IF_ERROR(src.ReadCount(8, &num_clusters));
+  if (num_clusters != model.clustering.clusters.size()) {
+    return Corrupt("grouping cluster count disagrees with model");
+  }
+  grouping->distinct.resize(num_clusters);
+  grouping->pattern_of.resize(num_clusters);
+  grouping->index.resize(num_clusters);
+  for (size_t c = 0; c < num_clusters; ++c) {
+    size_t num_distinct = 0;
+    FUSER_RETURN_IF_ERROR(src.ReadCount(16, &num_distinct));
+    grouping->distinct[c].resize(num_distinct);
+    grouping->index[c].reserve(num_distinct);
+    for (size_t i = 0; i < num_distinct; ++i) {
+      PatternKey& key = grouping->distinct[c][i];
+      FUSER_RETURN_IF_ERROR(src.ReadU64(&key.providers));
+      FUSER_RETURN_IF_ERROR(src.ReadU64(&key.nonproviders));
+      if (!grouping->index[c].emplace(key, i).second) {
+        return Corrupt("duplicate distinct pattern");
+      }
+    }
+    std::vector<uint32_t> raw_ids(grouping->num_triples);
+    FUSER_RETURN_IF_ERROR(
+        src.ReadU32Array(raw_ids.data(), raw_ids.size()));
+    grouping->pattern_of[c].resize(grouping->num_triples);
+    for (size_t t = 0; t < raw_ids.size(); ++t) {
+      if (raw_ids[t] >= num_distinct) {
+        return Corrupt("pattern id out of range");
+      }
+      grouping->pattern_of[c][t] = raw_ids[t];
+    }
+  }
+  FUSER_RETURN_IF_ERROR(ExpectExhausted(src, "grouping"));
+  return std::shared_ptr<const PatternGrouping>(std::move(grouping));
+}
+
+// ---------------------------------------------------------------------------
+// SERVING section.
+// ---------------------------------------------------------------------------
+
+std::string EncodeServingSection(const FusionSnapshot& snapshot) {
+  // Deterministic file bytes: entries sorted by name (the map key).
+  std::vector<std::pair<std::string, const MethodServing*>> entries;
+  entries.reserve(snapshot.serving.size());
+  for (const auto& [name, serving] : snapshot.serving) {
+    entries.emplace_back(name, serving.get());
+  }
+  std::sort(entries.begin(), entries.end());
+
+  ByteSink sink;
+  sink.WriteU64(entries.size());
+  for (const auto& [name, serving] : entries) {
+    sink.WriteString(name);
+    sink.WriteU32(static_cast<uint32_t>(serving->spec.kind));
+    sink.WriteDouble(serving->spec.union_percent);
+    sink.WriteI32(serving->spec.elastic_level);
+    sink.WriteDouble(serving->threshold);
+    sink.WriteBool(serving->pattern_based);
+    if (serving->pattern_based) {
+      const PatternPosteriorTable& table = serving->table;
+      sink.WriteDouble(table.alpha);
+      sink.WriteU64(table.logs.size());
+      for (const PatternPosteriorTable::ClusterLogs& logs : table.logs) {
+        sink.WriteU64(logs.flags.size());
+        for (double v : logs.log_true) sink.WriteDouble(v);
+        for (double v : logs.log_false) sink.WriteDouble(v);
+        for (unsigned char f : logs.flags) sink.WriteU8(f);
+      }
+      sink.WriteU64(table.posterior.size());
+      for (double v : table.posterior) sink.WriteDouble(v);
+    } else {
+      sink.WriteU64(serving->dense.size());
+      for (double v : serving->dense) sink.WriteDouble(v);
+    }
+  }
+  return sink.data();
+}
+
+using ServingMap =
+    std::unordered_map<std::string, std::shared_ptr<const MethodServing>>;
+
+/// Decodes the serving entries against the already-decoded shared state.
+/// Pattern-based entries get their ad-hoc scorer rebuilt through the
+/// method's MakeScoringPlan — the plan captures only the model (shared
+/// with the snapshot) and per-cluster strategy decisions, so rebuilding it
+/// is cheap and reproduces the original closures exactly.
+Status DecodeServingSection(ByteSource src, const MethodContext& context,
+                            ServingMap* out) {
+  size_t count = 0;
+  FUSER_RETURN_IF_ERROR(src.ReadCount(8, &count));
+  for (size_t i = 0; i < count; ++i) {
+    std::string name;
+    FUSER_RETURN_IF_ERROR(src.ReadString(&name));
+    auto serving = std::make_shared<MethodServing>();
+    uint32_t kind = 0;
+    FUSER_RETURN_IF_ERROR(src.ReadU32(&kind));
+    if (kind > static_cast<uint32_t>(MethodKind::kElastic)) {
+      return Corrupt("serving entry method kind out of range");
+    }
+    serving->spec.kind = static_cast<MethodKind>(kind);
+    FUSER_RETURN_IF_ERROR(src.ReadDouble(&serving->spec.union_percent));
+    FUSER_RETURN_IF_ERROR(src.ReadI32(&serving->spec.elastic_level));
+    FUSER_RETURN_IF_ERROR(src.ReadDouble(&serving->threshold));
+    FUSER_RETURN_IF_ERROR(src.ReadBool(&serving->pattern_based));
+    const FusionMethod* method =
+        MethodRegistry::Global().Find(serving->spec.kind);
+    if (method == nullptr) {
+      return Corrupt("serving entry for unregistered method");
+    }
+    if (serving->spec.Name() != name) {
+      return Corrupt("serving entry name disagrees with its spec");
+    }
+    if (serving->pattern_based) {
+      if (context.grouping == nullptr) {
+        return Corrupt("pattern-based serving entry without a grouping");
+      }
+      if (!method->supports_pattern_serving()) {
+        return Corrupt("pattern-based entry for a non-pattern method");
+      }
+      PatternPosteriorTable& table = serving->table;
+      FUSER_RETURN_IF_ERROR(src.ReadDouble(&table.alpha));
+      size_t num_clusters = 0;
+      FUSER_RETURN_IF_ERROR(src.ReadCount(8, &num_clusters));
+      if (num_clusters != context.grouping->num_clusters()) {
+        return Corrupt("posterior table cluster count mismatch");
+      }
+      table.logs.resize(num_clusters);
+      for (size_t c = 0; c < num_clusters; ++c) {
+        PatternPosteriorTable::ClusterLogs& logs = table.logs[c];
+        size_t n = 0;
+        FUSER_RETURN_IF_ERROR(src.ReadCount(8 + 8 + 1, &n));
+        if (n != context.grouping->distinct[c].size()) {
+          return Corrupt("posterior table size disagrees with grouping");
+        }
+        logs.log_true.resize(n);
+        logs.log_false.resize(n);
+        logs.flags.resize(n);
+        FUSER_RETURN_IF_ERROR(
+            src.ReadDoubleArray(logs.log_true.data(), n));
+        FUSER_RETURN_IF_ERROR(
+            src.ReadDoubleArray(logs.log_false.data(), n));
+        for (unsigned char& f : logs.flags) {
+          uint8_t raw = 0;
+          FUSER_RETURN_IF_ERROR(src.ReadU8(&raw));
+          if (raw > 3) return Corrupt("posterior table flag out of range");
+          f = raw;
+        }
+      }
+      size_t num_posterior = 0;
+      FUSER_RETURN_IF_ERROR(src.ReadCount(8, &num_posterior));
+      // BuildPatternPosteriorTable populates `posterior` exactly when the
+      // grouping has one cluster; hold restored tables to the same
+      // invariant so the combine paths take the same branches.
+      const size_t expected =
+          num_clusters == 1 ? context.grouping->distinct[0].size() : 0;
+      if (num_posterior != expected) {
+        return Corrupt("posterior vector size mismatch");
+      }
+      table.posterior.resize(num_posterior);
+      FUSER_RETURN_IF_ERROR(
+          src.ReadDoubleArray(table.posterior.data(), num_posterior));
+      StatusOr<PatternScoringPlan> plan =
+          method->MakeScoringPlan(context, serving->spec);
+      if (!plan.ok()) {
+        return Status(plan.status().code(),
+                      name + ": " + plan.status().message());
+      }
+      serving->adhoc_scorer = std::move(plan->scorer);
+    } else {
+      size_t n = 0;
+      FUSER_RETURN_IF_ERROR(src.ReadCount(8, &n));
+      if (n != context.dataset->num_triples()) {
+        return Corrupt("dense score vector size mismatch");
+      }
+      serving->dense.resize(n);
+      FUSER_RETURN_IF_ERROR(src.ReadDoubleArray(serving->dense.data(), n));
+    }
+    if (!out->emplace(name, std::move(serving)).second) {
+      return Corrupt("duplicate serving entry");
+    }
+  }
+  return ExpectExhausted(src, "serving");
+}
+
+// ---------------------------------------------------------------------------
+// File assembly and parsing.
+// ---------------------------------------------------------------------------
+
+Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::IoError("cannot open for writing: " + tmp);
+  }
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), out) != bytes.size()) {
+    std::fclose(out);
+    std::remove(tmp.c_str());
+    return Status::IoError("short write: " + tmp);
+  }
+  if (std::fflush(out) != 0) {
+    std::fclose(out);
+    std::remove(tmp.c_str());
+    return Status::IoError("flush failed: " + tmp);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // The rename below may hit disk before the data does; without this
+  // fsync a power loss in the writeback window could replace a previously
+  // good snapshot with a truncated one.
+  if (fsync(fileno(out)) != 0) {
+    std::fclose(out);
+    std::remove(tmp.c_str());
+    return Status::IoError("fsync failed: " + tmp);
+  }
+#endif
+  if (std::fclose(out) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Best-effort directory sync so the rename itself is durable.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dir_fd = open(dir.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    fsync(dir_fd);
+    close(dir_fd);
+  }
+#endif
+  return Status::OK();
+}
+
+/// Extends `bytes` with file content up to byte `target` (sequential reads
+/// on one stream; `bytes` always holds the file prefix [0, bytes->size())).
+Status ExtendPrefix(std::ifstream& in, std::string* bytes, size_t target) {
+  if (target <= bytes->size()) return Status::OK();
+  const size_t old_size = bytes->size();
+  bytes->resize(target);
+  in.read(&(*bytes)[old_size],
+          static_cast<std::streamsize>(target - old_size));
+  if (!in) {
+    return Status::IoError("snapshot read failed");
+  }
+  return Status::OK();
+}
+
+struct SectionSpan {
+  size_t offset = 0;
+  size_t size = 0;
+  uint64_t checksum = 0;
+};
+
+/// Parses and validates the header and section table (`bytes` must cover
+/// them; section bounds are validated against `file_size`). Section
+/// payload checksums are *not* verified here — OpenSection checks each
+/// section right before it is parsed, so attach-mode loads never pay for
+/// reading or hashing the (large) dataset section they skip.
+Status ParseHeader(const std::string& bytes, size_t file_size,
+                   std::map<uint32_t, SectionSpan>* sections) {
+  if (bytes.size() < kHeaderFixedBytes + 8) {
+    return Corrupt("file truncated (no header)");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic (not a fuser snapshot)");
+  }
+  ByteSource header(bytes.data() + sizeof(kMagic),
+                    bytes.size() - sizeof(kMagic));
+  uint32_t format_version = 0;
+  uint32_t section_count = 0;
+  FUSER_RETURN_IF_ERROR(header.ReadU32(&format_version));
+  FUSER_RETURN_IF_ERROR(header.ReadU32(&section_count));
+  if (format_version != kSnapshotFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot format version " +
+        std::to_string(format_version) + " (this build reads version " +
+        std::to_string(kSnapshotFormatVersion) + ")");
+  }
+  if (section_count > kMaxSections) {
+    return Corrupt("implausible section count");
+  }
+  const size_t table_end =
+      kHeaderFixedBytes + kSectionEntryBytes * section_count;
+  if (bytes.size() < table_end + 8 || file_size < table_end + 8) {
+    return Corrupt("file truncated (section table)");
+  }
+  ByteSource tail(bytes.data() + table_end, 8);
+  uint64_t stored_header_checksum = 0;
+  FUSER_RETURN_IF_ERROR(tail.ReadU64(&stored_header_checksum));
+  if (Checksum64(bytes.data(), table_end) != stored_header_checksum) {
+    return Corrupt("header checksum mismatch");
+  }
+  for (uint32_t i = 0; i < section_count; ++i) {
+    uint32_t id = 0, reserved = 0;
+    uint64_t offset = 0, size = 0, checksum = 0;
+    FUSER_RETURN_IF_ERROR(header.ReadU32(&id));
+    FUSER_RETURN_IF_ERROR(header.ReadU32(&reserved));
+    FUSER_RETURN_IF_ERROR(header.ReadU64(&offset));
+    FUSER_RETURN_IF_ERROR(header.ReadU64(&size));
+    FUSER_RETURN_IF_ERROR(header.ReadU64(&checksum));
+    if (offset < table_end + 8 || offset > file_size ||
+        size > file_size - offset) {
+      return Corrupt("section outside file bounds");
+    }
+    SectionSpan span{static_cast<size_t>(offset), static_cast<size_t>(size),
+                     checksum};
+    if (!sections->emplace(id, span).second) {
+      return Corrupt("duplicate section id");
+    }
+  }
+  return Status::OK();
+}
+
+/// Returns a checksum-verified ByteSource over one section, or NotFound
+/// when the file has no such section.
+StatusOr<ByteSource> OpenSection(const std::string& bytes,
+                                 const std::map<uint32_t, SectionSpan>& table,
+                                 uint32_t id) {
+  auto it = table.find(id);
+  if (it == table.end()) {
+    return Status::NotFound("snapshot has no section " + std::to_string(id));
+  }
+  const SectionSpan& span = it->second;
+  if (span.offset > bytes.size() || span.size > bytes.size() - span.offset) {
+    return Status::Internal("section " + std::to_string(id) + " not loaded");
+  }
+  if (Checksum64(bytes.data() + span.offset, span.size) != span.checksum) {
+    return Corrupt("checksum mismatch in section " + std::to_string(id));
+  }
+  return ByteSource(bytes.data() + span.offset, span.size);
+}
+
+StatusOr<LoadedSnapshot> LoadImpl(const std::string& path,
+                                  const Dataset* attach) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IoError("cannot open snapshot file: " + path);
+  }
+  const std::streamoff stat_size = in.tellg();
+  if (stat_size < 0) {
+    return Status::IoError("cannot stat snapshot file: " + path);
+  }
+  const size_t file_size = static_cast<size_t>(stat_size);
+  in.seekg(0);
+
+  // Read the header and section table first; then read only as far into
+  // the file as the sections this load will actually parse. The DATASET
+  // section is written last precisely so an attach-mode load (WarmStart
+  // over a dataset the process already holds) stops short of it.
+  std::string bytes;
+  FUSER_RETURN_IF_ERROR(
+      ExtendPrefix(in, &bytes, std::min(file_size, kHeaderFixedBytes + 8)));
+  size_t table_end = kHeaderFixedBytes + 8;
+  if (bytes.size() >= kHeaderFixedBytes) {
+    ByteSource counter(bytes.data() + 12, 4);
+    uint32_t section_count = 0;
+    (void)counter.ReadU32(&section_count);
+    if (section_count <= kMaxSections) {
+      table_end = kHeaderFixedBytes + kSectionEntryBytes * section_count + 8;
+    }
+  }
+  FUSER_RETURN_IF_ERROR(
+      ExtendPrefix(in, &bytes, std::min(file_size, table_end)));
+  std::map<uint32_t, SectionSpan> table;
+  FUSER_RETURN_IF_ERROR(ParseHeader(bytes, file_size, &table));
+  size_t needed_end = bytes.size();
+  for (const auto& [id, span] : table) {
+    if (attach != nullptr && id == kSectionDataset) continue;
+    needed_end = std::max(needed_end, span.offset + span.size);
+  }
+  FUSER_RETURN_IF_ERROR(ExtendPrefix(in, &bytes, needed_end));
+
+  FUSER_ASSIGN_OR_RETURN(ByteSource engine_src,
+                         OpenSection(bytes, table, kSectionEngine));
+  EngineSection engine;
+  FUSER_RETURN_IF_ERROR(DecodeEngineSection(engine_src, &engine));
+
+  LoadedSnapshot loaded;
+  const Dataset* dataset = attach;
+  if (attach != nullptr) {
+    if (attach->num_triples() != engine.num_triples ||
+        attach->num_sources() != engine.num_sources ||
+        attach->num_domains() != engine.num_domains) {
+      return Status::InvalidArgument(
+          "snapshot was saved against a different dataset "
+          "(source/triple/domain counts disagree)");
+    }
+    if (attach->version() != engine.dataset_version) {
+      return Status::InvalidArgument(
+          "snapshot dataset_version " +
+          std::to_string(engine.dataset_version) +
+          " does not match the dataset's version " +
+          std::to_string(attach->version()) +
+          " (the dataset changed since the snapshot was saved)");
+    }
+    // The version counter is per-object (every freshly finalized dataset
+    // starts at 1), so also fingerprint the contents: same-sized data
+    // reloaded from edited TSVs must not warm-start against stale state.
+    if (attach->ContentFingerprint() != engine.dataset_fingerprint) {
+      return Status::InvalidArgument(
+          "snapshot was saved against different dataset contents "
+          "(content fingerprint mismatch)");
+    }
+  } else {
+    FUSER_ASSIGN_OR_RETURN(ByteSource dataset_src,
+                           OpenSection(bytes, table, kSectionDataset));
+    FUSER_ASSIGN_OR_RETURN(loaded.dataset,
+                           DecodeDatasetSection(dataset_src, engine));
+    dataset = loaded.dataset.get();
+    if (dataset->ContentFingerprint() != engine.dataset_fingerprint) {
+      return Corrupt("re-materialized dataset fingerprint mismatch");
+    }
+  }
+
+  auto snapshot = std::make_shared<FusionSnapshot>();
+  snapshot->id = 1;
+  snapshot->dataset_version = engine.dataset_version;
+  snapshot->num_triples = static_cast<size_t>(engine.num_triples);
+  snapshot->num_sources = static_cast<size_t>(engine.num_sources);
+  snapshot->options = engine.options;
+  snapshot->quality = std::move(engine.quality);
+  loaded.train_mask = std::move(engine.train_mask);
+
+  StatusOr<ByteSource> model_src = OpenSection(bytes, table, kSectionModel);
+  if (model_src.ok()) {
+    FUSER_ASSIGN_OR_RETURN(snapshot->model,
+                           DecodeModelSection(*model_src, engine));
+  } else if (model_src.status().code() != StatusCode::kNotFound) {
+    return model_src.status();
+  }
+
+  StatusOr<ByteSource> grouping_src =
+      OpenSection(bytes, table, kSectionGrouping);
+  if (grouping_src.ok()) {
+    if (snapshot->model == nullptr) {
+      return Corrupt("grouping section without a model section");
+    }
+    FUSER_ASSIGN_OR_RETURN(
+        snapshot->grouping,
+        DecodeGroupingSection(*grouping_src, *dataset, *snapshot->model));
+  } else if (grouping_src.status().code() != StatusCode::kNotFound) {
+    return grouping_src.status();
+  }
+
+  StatusOr<ByteSource> serving_src = OpenSection(bytes, table, kSectionServing);
+  if (serving_src.ok()) {
+    MethodContext context;
+    context.dataset = dataset;
+    context.options = &snapshot->options;
+    context.quality = &snapshot->quality;
+    context.model = snapshot->model.get();
+    context.grouping = snapshot->grouping.get();
+    context.num_threads = 1;
+    FUSER_RETURN_IF_ERROR(
+        DecodeServingSection(*serving_src, context, &snapshot->serving));
+  } else if (serving_src.status().code() != StatusCode::kNotFound) {
+    return serving_src.status();
+  }
+
+  loaded.snapshot = std::move(snapshot);
+  return loaded;
+}
+
+}  // namespace
+
+Status SaveSnapshot(const std::string& path, const Dataset& dataset,
+                    const DynamicBitset& train_mask,
+                    const FusionSnapshot& snapshot) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset must be finalized");
+  }
+  if (snapshot.num_triples != dataset.num_triples() ||
+      snapshot.num_sources != dataset.num_sources()) {
+    return Status::InvalidArgument(
+        "snapshot does not belong to this dataset (size mismatch)");
+  }
+  if (snapshot.dataset_version != dataset.version()) {
+    return Status::InvalidArgument(
+        "snapshot predates the dataset's current version; publish a fresh "
+        "snapshot before saving");
+  }
+  if (train_mask.size() != dataset.num_triples()) {
+    return Status::InvalidArgument("train mask size != num_triples");
+  }
+  if (snapshot.grouping != nullptr &&
+      snapshot.grouping->num_triples != dataset.num_triples()) {
+    return Status::InvalidArgument("snapshot grouping size mismatch");
+  }
+
+  // The DATASET section goes last: warm starts over an already-loaded
+  // dataset (FusionEngine::WarmStart) read only the file prefix up to it.
+  std::vector<std::pair<uint32_t, std::string>> sections;
+  sections.emplace_back(kSectionEngine,
+                        EncodeEngineSection(dataset, train_mask, snapshot));
+  if (snapshot.model != nullptr) {
+    FUSER_ASSIGN_OR_RETURN(std::string model_bytes,
+                           EncodeModelSection(*snapshot.model));
+    sections.emplace_back(kSectionModel, std::move(model_bytes));
+  }
+  if (snapshot.grouping != nullptr) {
+    sections.emplace_back(kSectionGrouping,
+                          EncodeGroupingSection(*snapshot.grouping));
+  }
+  if (!snapshot.serving.empty()) {
+    sections.emplace_back(kSectionServing, EncodeServingSection(snapshot));
+  }
+  sections.emplace_back(kSectionDataset, EncodeDatasetSection(dataset));
+
+  ByteSink file;
+  file.WriteRaw(kMagic, sizeof(kMagic));
+  file.WriteU32(kSnapshotFormatVersion);
+  file.WriteU32(static_cast<uint32_t>(sections.size()));
+  size_t offset = kHeaderFixedBytes + kSectionEntryBytes * sections.size() + 8;
+  for (const auto& [id, payload] : sections) {
+    file.WriteU32(id);
+    file.WriteU32(0);  // reserved
+    file.WriteU64(offset);
+    file.WriteU64(payload.size());
+    file.WriteU64(Checksum64(payload.data(), payload.size()));
+    offset += payload.size();
+  }
+  file.WriteU64(Checksum64(file.data().data(), file.size()));
+  for (const auto& [id, payload] : sections) {
+    (void)id;
+    file.WriteRaw(payload.data(), payload.size());
+  }
+  return WriteFileAtomic(path, file.data());
+}
+
+StatusOr<LoadedSnapshot> LoadSnapshot(const std::string& path) {
+  return LoadImpl(path, nullptr);
+}
+
+StatusOr<LoadedSnapshot> LoadSnapshotFor(const std::string& path,
+                                         const Dataset& dataset) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset must be finalized");
+  }
+  return LoadImpl(path, &dataset);
+}
+
+}  // namespace fuser

@@ -7,6 +7,7 @@
 // published snapshot. Run under TSan in CI, this also proves the
 // reader/writer paths race-free.
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -78,6 +79,11 @@ TEST(ServingStressTest, ReadsMatchPublishedSnapshotsUnderConcurrentUpdates) {
   publish_and_record();
 
   std::atomic<bool> done{false};
+  // Readers bump this on every recorded point sample so the writer can
+  // hold the world open until at least one read landed — on a loaded
+  // single-core runner the writer can otherwise finish all its batches
+  // before any reader thread is ever scheduled.
+  std::atomic<size_t> recorded{0};
   constexpr size_t kNumReaders = 4;
   std::vector<std::vector<PointSample>> point_samples(kNumReaders);
   std::vector<std::vector<AdHocSample>> adhoc_samples(kNumReaders);
@@ -100,6 +106,7 @@ TEST(ServingStressTest, ReadsMatchPublishedSnapshotsUnderConcurrentUpdates) {
         auto one = service.Score(*snapshot, spec, t);
         if (one.ok() && points.size() < 400) {
           points.push_back({snapshot->id, spec_index, t, *one});
+          recorded.fetch_add(1, std::memory_order_relaxed);
         }
         // Small batch query; every element must agree with Score.
         std::vector<TripleId> batch_ids;
@@ -113,6 +120,7 @@ TEST(ServingStressTest, ReadsMatchPublishedSnapshotsUnderConcurrentUpdates) {
             points.push_back(
                 {snapshot->id, spec_index, batch_ids[i], (*batch)[i]});
           }
+          recorded.fetch_add(batch_ids.size(), std::memory_order_relaxed);
         }
         // Ad-hoc observation (pattern methods only), synthesized from
         // source ids alone — readers must never touch the mutating
@@ -137,6 +145,14 @@ TEST(ServingStressTest, ReadsMatchPublishedSnapshotsUnderConcurrentUpdates) {
     const TripleId hi = std::min<TripleId>(lo + step, total);
     ASSERT_TRUE(engine.Update(BatchForRange(final, lo, hi)).ok());
     publish_and_record();
+  }
+  // Keep serving until at least one read landed (generously bounded so a
+  // genuine serving bug still fails instead of hanging).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (recorded.load(std::memory_order_relaxed) == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
   }
   done.store(true, std::memory_order_relaxed);
   for (std::thread& reader : readers) reader.join();
