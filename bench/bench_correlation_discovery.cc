@@ -2,59 +2,59 @@
 // structure the model finds in each simulated dataset, mirroring the
 // paper's narrative (group sizes on true/false triples, anti-correlated
 // sources, BOOK cluster sizes).
-#include <benchmark/benchmark.h>
-
+//
+// Standalone binary (no google-benchmark dependency):
+//
+//   ./bench_correlation_discovery [reps]
+//
+// prints the narrative report followed by a single JSON object (timing
+// of the BOOK pairwise pass and the non-trivial cluster counts).
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
 
-#include "bench_util.h"
+#include "common/logging.h"
+#include "common/timer.h"
 #include "core/clustering.h"
 #include "core/correlation.h"
+#include "stats/correlation_sketch.h"
 #include "synth/paper_datasets.h"
 
 namespace fuser {
 namespace {
 
-void PrintTopPairs(const Dataset& dataset, const char* title,
-                   size_t top_n) {
+void PrintPairs(const Dataset& dataset,
+                const std::vector<PairwiseCorrelation>& pairs, bool on_true) {
+  for (const PairwiseCorrelation& pc : pairs) {
+    std::printf("(%s,%s C=%.2f) ", dataset.source_name(pc.a).c_str(),
+                dataset.source_name(pc.b).c_str(),
+                on_true ? pc.factors.on_true : pc.factors.on_false);
+  }
+  std::printf("\n");
+}
+
+void PrintTopPairs(const Dataset& dataset, const char* title, size_t top_n) {
   std::vector<SourceId> all(dataset.num_sources());
   for (SourceId s = 0; s < dataset.num_sources(); ++s) all[s] = s;
   auto pairs =
       ComputePairwiseCorrelations(dataset, dataset.labeled_mask(), all, {});
   FUSER_CHECK(pairs.ok());
+  CorrelationRanking ranking = RankCorrelations(*pairs, top_n);
   std::printf("\n-- %s --\n", title);
-  auto print_extremes = [&](bool on_true) {
-    std::vector<PairwiseCorrelation> sorted = *pairs;
-    std::sort(sorted.begin(), sorted.end(),
-              [&](const PairwiseCorrelation& x,
-                  const PairwiseCorrelation& y) {
-                double fx = on_true ? x.factors.on_true : x.factors.on_false;
-                double fy = on_true ? y.factors.on_true : y.factors.on_false;
-                return fx > fy;
-              });
-    std::printf("  strongest %s-correlations: ", on_true ? "true" : "false");
-    for (size_t i = 0; i < std::min(top_n, sorted.size()); ++i) {
-      double f = on_true ? sorted[i].factors.on_true
-                         : sorted[i].factors.on_false;
-      std::printf("(%s,%s C=%.2f) ",
-                  dataset.source_name(sorted[i].a).c_str(),
-                  dataset.source_name(sorted[i].b).c_str(), f);
-    }
-    std::printf("\n  most anti-correlated: ");
-    for (size_t i = 0; i < std::min(top_n, sorted.size()); ++i) {
-      const PairwiseCorrelation& pc = sorted[sorted.size() - 1 - i];
-      double f = on_true ? pc.factors.on_true : pc.factors.on_false;
-      std::printf("(%s,%s C=%.2f) ", dataset.source_name(pc.a).c_str(),
-                  dataset.source_name(pc.b).c_str(), f);
-    }
-    std::printf("\n");
-  };
-  print_extremes(true);
-  print_extremes(false);
+  std::printf("  strongest true-correlations: ");
+  PrintPairs(dataset, ranking.strongest_true, true);
+  std::printf("  most anti-correlated (true): ");
+  PrintPairs(dataset, ranking.most_anti_true, true);
+  std::printf("  strongest false-correlations: ");
+  PrintPairs(dataset, ranking.strongest_false, false);
+  std::printf("  most anti-correlated (false): ");
+  PrintPairs(dataset, ranking.most_anti_false, false);
 }
 
-void PrintClusters(const Dataset& dataset, const char* title,
-                   ClusteringOptions options) {
+size_t PrintClusters(const Dataset& dataset, const char* title,
+                     ClusteringOptions options) {
   auto clustering =
       ClusterSourcesByCorrelation(dataset, dataset.labeled_mask(), {},
                                   options);
@@ -67,17 +67,21 @@ void PrintClusters(const Dataset& dataset, const char* title,
   std::printf("  %s: %zu non-trivial clusters, sizes:", title, sizes.size());
   for (size_t s : sizes) std::printf(" %zu", s);
   std::printf("\n");
+  return sizes.size();
 }
 
-void PrintDiscoveredCorrelations() {
-  std::printf("\n== Section 5.1: discovered correlations ==\n");
+int Main(int argc, char** argv) {
+  int reps = argc > 1 ? static_cast<int>(std::strtol(argv[1], nullptr, 10)) : 3;
+  if (reps < 1) reps = 1;
+
+  std::printf("== Section 5.1: discovered correlations ==\n");
   auto reverb = MakeReverbDataset(42);
   FUSER_CHECK(reverb.ok());
   PrintTopPairs(*reverb, "REVERB (paper: 2-group + 3-group on true; two "
                          "pairs on false; one source anti-correlated "
                          "with all)",
                 3);
-  PrintClusters(*reverb, "reverb clusters", {});
+  size_t reverb_clusters = PrintClusters(*reverb, "reverb clusters", {});
 
   auto restaurant = MakeRestaurantDataset(42);
   FUSER_CHECK(restaurant.ok());
@@ -85,7 +89,8 @@ void PrintDiscoveredCorrelations() {
                 "RESTAURANT (paper: 4-group on true; anti-correlated pair; "
                 "6-group on false)",
                 3);
-  PrintClusters(*restaurant, "restaurant clusters", {});
+  size_t restaurant_clusters =
+      PrintClusters(*restaurant, "restaurant clusters", {});
 
   auto book = MakeBookDataset(42);
   FUSER_CHECK(book.ok());
@@ -93,31 +98,32 @@ void PrintDiscoveredCorrelations() {
   book_options.max_cluster_size = 25;
   std::printf("\n-- BOOK (paper: clusters of ~22/3/2 on true, ~22/3/2/2 on "
               "false) --\n");
-  PrintClusters(*book, "book clusters", book_options);
-}
+  size_t book_clusters = PrintClusters(*book, "book clusters", book_options);
 
-void BM_PairwiseCorrelationBook(benchmark::State& state) {
-  auto dataset = MakeBookDataset(42);
-  FUSER_CHECK(dataset.ok());
-  std::vector<SourceId> all(dataset->num_sources());
-  for (SourceId s = 0; s < dataset->num_sources(); ++s) all[s] = s;
-  for (auto _ : state) {
-    auto pairs = ComputePairwiseCorrelations(*dataset,
-                                             dataset->labeled_mask(), all,
-                                             {});
-    benchmark::DoNotOptimize(pairs);
+  // Timing of the BOOK pairwise pass (the paper's largest dataset),
+  // min-of-reps.
+  std::vector<SourceId> all(book->num_sources());
+  for (SourceId s = 0; s < book->num_sources(); ++s) all[s] = s;
+  double pairwise_seconds = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    WallTimer timer;
+    auto pairs =
+        ComputePairwiseCorrelations(*book, book->labeled_mask(), all, {});
+    const double seconds = timer.ElapsedSeconds();
+    FUSER_CHECK(pairs.ok());
+    if (rep == 0 || seconds < pairwise_seconds) pairwise_seconds = seconds;
   }
+
+  std::printf(
+      "{\"bench\": \"correlation_discovery\", \"book_sources\": %zu, "
+      "\"book_pairwise_seconds\": %.6f, \"reverb_clusters\": %zu, "
+      "\"restaurant_clusters\": %zu, \"book_clusters\": %zu}\n",
+      static_cast<size_t>(book->num_sources()), pairwise_seconds,
+      reverb_clusters, restaurant_clusters, book_clusters);
+  return 0;
 }
-BENCHMARK(BM_PairwiseCorrelationBook)
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(1);
 
 }  // namespace
 }  // namespace fuser
 
-int main(int argc, char** argv) {
-  fuser::PrintDiscoveredCorrelations();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+int main(int argc, char** argv) { return fuser::Main(argc, argv); }

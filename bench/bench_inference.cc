@@ -16,6 +16,10 @@
 //               paper's many-methods workload (Fig. 4/6/7). Grouping is
 //               excluded from both sides, exactly as FusionRun.seconds
 //               excludes the shared inputs.
+//  * kernels:   the dispatched SIMD kernels (masked AND+popcount, 64x64
+//               bit transpose, pattern-table gather) vs the scalar oracle
+//               table, with a byte-identity check; on machines without
+//               AVX2 both tables are the scalar one and the ratios are ~1.
 //
 // Standalone binary (no google-benchmark dependency), prints one JSON
 // object so CI and scripts can track the speedup. Every measurement is the
@@ -30,7 +34,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/bitset.h"
 #include "common/logging.h"
+#include "common/random.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/elastic.h"
@@ -163,6 +170,93 @@ int Main(int argc, char** argv) {
     if (last_runs[i].scores != before_scores[i]) scores_identical = false;
   }
 
+  // ---- SIMD kernels: scalar oracle vs the active dispatch level. ----
+  const simd::Kernels& scalar_kernels = simd::KernelsFor(simd::Level::kScalar);
+  const simd::Kernels& active_kernels = simd::ActiveKernels();
+  Rng rng(97);
+  const size_t kWords = size_t{1} << 14;  // 1M bits per operand
+  AlignedWordVector wa(kWords), wb(kWords), wc(kWords);
+  for (size_t i = 0; i < kWords; ++i) {
+    wa[i] = rng.NextUint64();
+    wb[i] = rng.NextUint64();
+    wc[i] = rng.NextUint64();
+  }
+  std::vector<double> table(4096);
+  for (double& v : table) v = rng.NextDouble() * 2.0 - 1.0;
+  std::vector<size_t> idx(size_t{1} << 16);
+  for (size_t& i : idx) i = rng.NextBounded(table.size());
+
+  // Byte-identity of every kernel before timing anything.
+  bool kernels_identical =
+      scalar_kernels.and_count(wa.data(), wb.data(), kWords) ==
+          active_kernels.and_count(wa.data(), wb.data(), kWords) &&
+      scalar_kernels.and_count3(wa.data(), wb.data(), wc.data(), kWords) ==
+          active_kernels.and_count3(wa.data(), wb.data(), wc.data(), kWords);
+  for (size_t k : {size_t{7}, size_t{33}, size_t{64}}) {
+    uint64_t cols_scalar[64], cols_active[64];
+    scalar_kernels.transpose_bit_columns(wa.data(), k, cols_scalar);
+    active_kernels.transpose_bit_columns(wa.data(), k, cols_active);
+    for (size_t j = 0; j < 64; ++j) {
+      if (cols_scalar[j] != cols_active[j]) kernels_identical = false;
+    }
+  }
+  {
+    std::vector<double> out_scalar(idx.size()), out_active(idx.size());
+    scalar_kernels.gather_doubles(table.data(), idx.data(), idx.size(),
+                                  out_scalar.data());
+    active_kernels.gather_doubles(table.data(), idx.data(), idx.size(),
+                                  out_active.data());
+    if (out_scalar != out_active) kernels_identical = false;
+  }
+
+  // Min-of-reps timing; the volatile sink keeps the loops from folding.
+  volatile uint64_t sink = 0;
+  auto time_min = [&](auto&& fn) {
+    double best = 0.0;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      WallTimer timer;
+      fn();
+      const double seconds = timer.ElapsedSeconds();
+      best = rep == 0 ? seconds : std::min(best, seconds);
+    }
+    return best;
+  };
+  auto time_and_count = [&](const simd::Kernels& kernels) {
+    return time_min([&] {
+      for (size_t it = 0; it < 200; ++it) {
+        sink = sink + kernels.and_count(wa.data(), wb.data(), kWords);
+      }
+    });
+  };
+  auto time_transpose = [&](const simd::Kernels& kernels) {
+    return time_min([&] {
+      uint64_t cols[64];
+      for (size_t block = 0; block + 64 <= kWords; block += 64) {
+        kernels.transpose_bit_columns(wa.data() + block, 64, cols);
+        sink = sink + cols[0];
+      }
+    });
+  };
+  auto time_gather = [&](const simd::Kernels& kernels) {
+    std::vector<double> out(idx.size());
+    return time_min([&] {
+      for (size_t it = 0; it < 50; ++it) {
+        kernels.gather_doubles(table.data(), idx.data(), idx.size(),
+                               out.data());
+        sink = sink + static_cast<uint64_t>(out[0] != 0.0);
+      }
+    });
+  };
+  const double and_scalar = time_and_count(scalar_kernels);
+  const double and_active = time_and_count(active_kernels);
+  const double transpose_scalar = time_transpose(scalar_kernels);
+  const double transpose_active = time_transpose(active_kernels);
+  const double gather_scalar = time_gather(scalar_kernels);
+  const double gather_active = time_gather(active_kernels);
+  auto ratio = [](double scalar_s, double active_s) {
+    return active_s > 0.0 ? scalar_s / active_s : 0.0;
+  };
+
   const double grouping_speedup =
       grouping_word_seconds > 0.0
           ? grouping_scalar_seconds / grouping_word_seconds
@@ -192,11 +286,25 @@ int Main(int argc, char** argv) {
   }
   std::printf(
       "}, \"runall_before_seconds\": %.6f, \"runall_after_seconds\": %.6f, "
-      "\"runall_speedup\": %.2f, \"scores_identical\": %s}\n",
+      "\"runall_speedup\": %.2f, \"simd_level\": \"%s\", \"kernels\": "
+      "{\"and_count_scalar_seconds\": %.6f, "
+      "\"and_count_active_seconds\": %.6f, \"and_count_speedup\": %.2f, "
+      "\"transpose_scalar_seconds\": %.6f, "
+      "\"transpose_active_seconds\": %.6f, \"transpose_speedup\": %.2f, "
+      "\"gather_scalar_seconds\": %.6f, \"gather_active_seconds\": %.6f, "
+      "\"gather_speedup\": %.2f}, \"kernels_identical\": %s, "
+      "\"scores_identical\": %s}\n",
       runall_before_seconds, runall_after_seconds, runall_speedup,
+      simd::LevelName(simd::ActiveLevel()), and_scalar, and_active,
+      ratio(and_scalar, and_active), transpose_scalar, transpose_active,
+      ratio(transpose_scalar, transpose_active), gather_scalar,
+      gather_active, ratio(gather_scalar, gather_active),
+      kernels_identical ? "true" : "false",
       scores_identical ? "true" : "false");
   FUSER_CHECK(scores_identical)
       << "optimized scores diverged from the reference path";
+  FUSER_CHECK(kernels_identical)
+      << "dispatched kernels diverged from the scalar oracle";
   return 0;
 }
 

@@ -2,6 +2,7 @@
 // save/restore the trained engine state as a snapshot.
 //
 //   fuser_cli <observations.tsv> <gold.tsv> <method> [options]
+//   fuser_cli <observations.tsv> <gold.tsv> --discover[=top_n] [--approx]
 //   fuser_cli --load=SNAPSHOT <method> [options]
 //     method:  any method registered in the MethodRegistry, or "runall"
 //              (score the full registry lineup over one shared model and
@@ -13,24 +14,33 @@
 //              --save=PATH (persist the trained state as a snapshot)
 //              --load=PATH (warm-start from a snapshot instead of TSVs;
 //                           model parameters come from the file)
+//              --discover[=N] (report the N strongest / most
+//                           anti-correlated source pairs instead of fusing)
+//              --approx[=K] (discover with the bottom-K correlation sketch
+//                           + exact-oracle rescore instead of the exact
+//                           O(S^2 * m) pass)
 //
 // Unknown flags are an error (exit code 2), not silently ignored. Prints
 // evaluation metrics on the gold standard, one machine-parseable JSON
 // summary line (the last stdout line, `{"fuser_cli": ...}`), and
 // (optionally) writes per-triple probabilities.
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "common/csv.h"
 #include "common/string_util.h"
+#include "core/correlation.h"
 #include "core/engine.h"
 #include "model/dataset_io.h"
 #include "model/split.h"
 #include "persist/snapshot_io.h"
+#include "stats/correlation_sketch.h"
 
 namespace {
 
@@ -68,6 +78,13 @@ void Usage(const char* argv0, std::FILE* out) {
       "  --load=PATH         warm-start from a snapshot instead of TSVs;\n"
       "                      incompatible with flags that would retrain the\n"
       "                      model (--alpha/--scopes/--cluster/...)\n"
+      "  --discover[=N]      report the N (default 5) strongest and most\n"
+      "                      anti-correlated source pairs instead of fusing\n"
+      "                      (takes only <observations.tsv> <gold.tsv>)\n"
+      "  --approx[=K]        with --discover: estimate pairwise joint counts\n"
+      "                      from a bottom-K correlation sketch (default\n"
+      "                      K=2048) and re-score the significant pairs with\n"
+      "                      the exact oracle\n"
       "  --help              this message\n",
       argv0, argv0, MethodLineup().c_str());
 }
@@ -77,6 +94,39 @@ void Usage(const char* argv0, std::FILE* out) {
 std::string JsonNum(double v) {
   if (std::isnan(v)) return "null";
   return fuser::StrFormat("%.6f", v);
+}
+
+/// One human-readable block of ranked pairs for --discover.
+void PrintPairList(const fuser::Dataset& ds, const char* title,
+                   const std::vector<fuser::PairwiseCorrelation>& list) {
+  std::printf("%s\n", title);
+  if (list.empty()) {
+    std::printf("  (none with enough support)\n");
+    return;
+  }
+  for (const fuser::PairwiseCorrelation& pc : list) {
+    std::printf("  %s ~ %s: C=%.3f C!=%.3f support=%zu%s\n",
+                ds.source_name(pc.a).c_str(), ds.source_name(pc.b).c_str(),
+                pc.factors.on_true, pc.factors.on_false, pc.support,
+                pc.estimated ? " (estimated)" : "");
+  }
+}
+
+/// Ranked pairs as a JSON array for the machine-parseable summary line.
+/// `on_true` selects which factor the list was ranked by.
+std::string PairListJson(const fuser::Dataset& ds, bool on_true,
+                         const std::vector<fuser::PairwiseCorrelation>& list) {
+  std::string out = "[";
+  for (size_t i = 0; i < list.size(); ++i) {
+    const fuser::PairwiseCorrelation& pc = list[i];
+    if (i > 0) out += ", ";
+    out += fuser::StrFormat(
+        "{\"a\": \"%s\", \"b\": \"%s\", \"factor\": %s, \"support\": %zu}",
+        ds.source_name(pc.a).c_str(), ds.source_name(pc.b).c_str(),
+        JsonNum(on_true ? pc.factors.on_true : pc.factors.on_false).c_str(),
+        pc.support);
+  }
+  return out + "]";
 }
 
 }  // namespace
@@ -91,6 +141,10 @@ int main(int argc, char** argv) {
   std::string save_path;
   std::string load_path;
   bool runall = false;
+  bool discover = false;
+  size_t discover_top_n = 5;
+  bool use_approx = false;
+  ApproxOptions approx;
   std::vector<std::string> positionals;
   // Flags that pick model parameters; meaningless (and rejected) together
   // with --load, where those parameters come from the snapshot.
@@ -143,6 +197,24 @@ int main(int argc, char** argv) {
       save_path = arg.substr(7);
     } else if (StartsWith(arg, "--load=")) {
       load_path = arg.substr(7);
+    } else if (arg == "--discover") {
+      discover = true;
+    } else if (StartsWith(arg, "--discover=")) {
+      discover = true;
+      if (!ParseSizeT(arg.substr(11), &discover_top_n) ||
+          discover_top_n == 0) {
+        std::fprintf(stderr, "bad value in: %s\n", arg.c_str());
+        return 2;
+      }
+    } else if (arg == "--approx") {
+      use_approx = true;
+    } else if (StartsWith(arg, "--approx=")) {
+      use_approx = true;
+      if (!ParseSizeT(arg.substr(9), &approx.sketch_size) ||
+          approx.sketch_size == 0) {
+        std::fprintf(stderr, "bad value in: %s\n", arg.c_str());
+        return 2;
+      }
     } else if (StartsWith(arg, "--")) {
       std::fprintf(stderr, "unknown option: %s (see --help)\n", arg.c_str());
       return 2;
@@ -159,6 +231,96 @@ int main(int argc, char** argv) {
                  training_flags.front().c_str());
     return 2;
   }
+  if (use_approx && !discover) {
+    std::fprintf(stderr, "--approx requires --discover (see --help)\n");
+    return 2;
+  }
+
+  // ---- Discovery mode: rank pairwise source correlations, no fusion.
+  if (discover) {
+    if (load_mode) {
+      std::fprintf(stderr,
+                   "--discover needs the labeled TSVs, not a snapshot\n");
+      return 2;
+    }
+    if (positionals.size() != 2) {
+      Usage(argv[0], stderr);
+      return 2;
+    }
+    auto dataset = LoadDataset(positionals[0], positionals[1]);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded: %zu sources, %zu triples, %zu labeled (%zu true)\n",
+                dataset->num_sources(), dataset->num_triples(),
+                dataset->num_labeled(), dataset->num_true());
+    std::vector<SourceId> all(dataset->num_sources());
+    std::iota(all.begin(), all.end(), 0);
+    JointStatsOptions stats;
+    stats.alpha = options.model.alpha;
+    stats.use_scopes = options.model.use_scopes;
+
+    ApproxDiscoveryReport report;
+    auto started = std::chrono::steady_clock::now();
+    auto pairs =
+        use_approx
+            ? ComputePairwiseCorrelationsApprox(
+                  *dataset, dataset->labeled_mask(), all, stats, approx,
+                  &report)
+            : ComputePairwiseCorrelations(*dataset, dataset->labeled_mask(),
+                                          all, stats);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+    if (!pairs.ok()) {
+      std::fprintf(stderr, "discovery failed: %s\n",
+                   pairs.status().ToString().c_str());
+      return 1;
+    }
+    if (use_approx) {
+      std::printf(
+          "sketch: %zu/%zu true and %zu/%zu false labels sampled, "
+          "joint-rate error bound %.4f, %zu pairs re-scored exactly\n",
+          report.sampled_true, report.total_true, report.sampled_false,
+          report.total_false, report.error_bound, report.rescored_pairs);
+    }
+    CorrelationRanking ranking = RankCorrelations(*pairs, discover_top_n);
+    PrintPairList(*dataset, "strongest positive correlation (true labels):",
+                  ranking.strongest_true);
+    PrintPairList(*dataset, "strongest anti-correlation (true labels):",
+                  ranking.most_anti_true);
+    PrintPairList(*dataset, "strongest positive correlation (false labels):",
+                  ranking.strongest_false);
+    PrintPairList(*dataset, "strongest anti-correlation (false labels):",
+                  ranking.most_anti_false);
+    std::printf("scored %zu pairs in %.3fs (%s)\n", pairs->size(), seconds,
+                use_approx ? "sketch + exact oracle" : "exact");
+
+    // Machine-parseable summary: always the last stdout line.
+    std::printf(
+        "{\"fuser_cli\": {\"discover\": true, \"sources\": %zu, "
+        "\"triples\": %zu, \"labeled\": %zu, \"pairs\": %zu, "
+        "\"approx\": %s, \"sketch_size\": %zu, \"error_bound\": %s, "
+        "\"rescored_pairs\": %zu, \"seconds\": %s, "
+        "\"strongest_true\": %s, \"most_anti_true\": %s, "
+        "\"strongest_false\": %s, \"most_anti_false\": %s}}\n",
+        dataset->num_sources(), dataset->num_triples(),
+        dataset->num_labeled(), pairs->size(),
+        use_approx ? "true" : "false",
+        use_approx ? approx.sketch_size : size_t{0},
+        use_approx ? JsonNum(report.error_bound).c_str() : "null",
+        use_approx ? report.rescored_pairs : size_t{0},
+        JsonNum(seconds).c_str(),
+        PairListJson(*dataset, true, ranking.strongest_true).c_str(),
+        PairListJson(*dataset, true, ranking.most_anti_true).c_str(),
+        PairListJson(*dataset, false, ranking.strongest_false).c_str(),
+        PairListJson(*dataset, false, ranking.most_anti_false).c_str());
+    return 0;
+  }
+
   if (positionals.size() != (load_mode ? 1u : 3u)) {
     Usage(argv[0], stderr);
     return 2;

@@ -8,10 +8,11 @@ and fails the build when a tracked metric regresses beyond the tolerance.
 
 Only *ratio-style* metrics (speedups: optimized-vs-baseline wall time
 measured in the same process) are gated, and only with a generous tolerance
-(default 2.5x), because shared CI runners have noisy absolute timings but
-keep intra-process ratios fairly stable. Boolean correctness gates
-(scores_identical) must hold exactly. Absolute timings and qps are reported
-for the uploaded artifacts but never gated.
+(default 2.5x, overridable per metric), because shared CI runners have
+noisy absolute timings but keep intra-process ratios fairly stable.
+Boolean correctness gates (scores_identical, kernels_identical, the
+sketch's error_within_bound_* flags) must hold exactly. Absolute timings
+and qps are reported for the uploaded artifacts but never gated.
 
 Usage:
   check_bench.py --baseline-dir . --current-dir bench-out [--tolerance 2.5]
@@ -28,17 +29,33 @@ import json
 import os
 import sys
 
-# bench name (the JSON "bench" field) -> ratio metrics gated for it.
+# bench name (the JSON "bench" field) -> {ratio metric: tolerance override}.
+# A tolerance of None uses the command-line default (2.5x). The current run
+# fails when metric < baseline/tolerance.
 RATIO_METRICS = {
-    "streaming": ["speedup"],
-    "inference": ["grouping_speedup", "runall_speedup"],
-    "serving": [],  # qps/latency are absolute -> reported, not gated
-    "persist": ["warmstart_speedup"],
+    "streaming": {"speedup": None},
+    "inference": {"grouping_speedup": None, "runall_speedup": None},
+    "serving": {},  # qps/latency are absolute -> reported, not gated
+    "persist": {"warmstart_speedup": None},
+    # 64 sources runs in microseconds and is dominated by sketch-build
+    # fixed costs; reported but not gated.
+    "correlation": {"sketch_speedup_256": None, "sketch_speedup_1024": None},
 }
 
-# Boolean metrics that must be true in the current run whenever the
-# baseline recorded them as true.
-BOOL_METRICS = ["scores_identical"]
+# bench name -> boolean metrics that must be true in the current run
+# whenever the baseline recorded them as true. No tolerance: these are
+# correctness contracts, not timings.
+BOOL_METRICS = {
+    "streaming": ["scores_identical"],
+    "inference": ["scores_identical", "kernels_identical"],
+    "serving": ["scores_identical"],
+    "persist": ["scores_identical"],
+    "correlation": [
+        "error_within_bound_64",
+        "error_within_bound_256",
+        "error_within_bound_1024",
+    ],
+}
 
 
 def load_bench_json(path):
@@ -69,22 +86,23 @@ def check_file(baseline_path, current_path, tolerance):
                  f"{name}: current file reports bench "
                  f"'{current.get('bench')}'")]
 
-    for metric in RATIO_METRICS.get(name, []):
+    for metric, override in RATIO_METRICS.get(name, {}).items():
         if metric not in baseline:
             rows.append((False, f"{name}.{metric}: missing from baseline"))
             continue
         if metric not in current:
             rows.append((False, f"{name}.{metric}: missing from current run"))
             continue
+        metric_tolerance = override if override is not None else tolerance
         base, cur = float(baseline[metric]), float(current[metric])
-        floor = base / tolerance
+        floor = base / metric_tolerance
         ok = cur >= floor
         rows.append((ok,
                      f"{name}.{metric}: current {cur:.2f} vs baseline "
-                     f"{base:.2f} (floor {floor:.2f} at {tolerance}x "
+                     f"{base:.2f} (floor {floor:.2f} at {metric_tolerance}x "
                      f"tolerance)"))
 
-    for metric in BOOL_METRICS:
+    for metric in BOOL_METRICS.get(name, []):
         if baseline.get(metric) is True:
             ok = current.get(metric) is True
             rows.append((ok, f"{name}.{metric}: {current.get(metric)}"))

@@ -7,12 +7,62 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <vector>
 
 #include "common/bit_util.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace fuser {
+
+/// Allocator that aligns storage to one cache line (64 bytes) using C++17
+/// aligned operator new. Bitset word arrays are allocated through it so a
+/// 256-bit SIMD load of words [i, i+4) never splits a cache line — the
+/// first word of every bitset sits on a 64-byte boundary and four words
+/// are exactly half a line.
+template <typename T>
+struct CacheAlignedAllocator {
+  using value_type = T;
+  static constexpr std::size_t kAlignment = 64;
+  static_assert(kAlignment % alignof(T) == 0,
+                "cache-line alignment must imply natural alignment");
+
+  CacheAlignedAllocator() = default;
+  template <typename U>
+  CacheAlignedAllocator(const CacheAlignedAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kAlignment}));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{kAlignment});
+  }
+
+  template <typename U>
+  bool operator==(const CacheAlignedAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const CacheAlignedAllocator<U>&) const {
+    return false;
+  }
+};
+
+/// Cache-line-aligned word storage shared by DynamicBitset and the
+/// correlation sketch's sample-bit matrix.
+using AlignedWordVector = std::vector<uint64_t, CacheAlignedAllocator<uint64_t>>;
+
+/// Read-only view of a bitset's word storage (bit i of the set lives at
+/// bit (i % 64) of word i / 64; tail bits past the set's size are zero).
+struct WordSpan {
+  const uint64_t* data = nullptr;
+  size_t size = 0;
+
+  const uint64_t* begin() const { return data; }
+  const uint64_t* end() const { return data + size; }
+};
 
 class DynamicBitset {
  public:
@@ -99,13 +149,14 @@ class DynamicBitset {
   }
 
   /// popcount(this & other) without materializing the intersection.
+  /// Routed through the runtime-dispatched SIMD kernel (scalar fallback is
+  /// byte-identical); this is the inner loop of pairwise correlation
+  /// discovery.
   size_t AndCount(const DynamicBitset& other) const {
     FUSER_CHECK_EQ(size_, other.size_);
-    size_t c = 0;
-    for (size_t i = 0; i < words_.size(); ++i) {
-      c += static_cast<size_t>(PopCount64(words_[i] & other.words_[i]));
-    }
-    return c;
+    return static_cast<size_t>(
+        simd::AndCountWords(words_.data(), other.words_.data(),
+                            words_.size()));
   }
 
   /// Calls fn(i) for every set bit i in increasing order.
@@ -133,6 +184,11 @@ class DynamicBitset {
   const uint64_t* words() const { return words_.data(); }
   uint64_t word(size_t wi) const { return words_[wi]; }
 
+  /// The word storage as a span. Storage is 64-byte aligned
+  /// (CacheAlignedAllocator), so SIMD loads through this span never split
+  /// cache lines.
+  WordSpan word_span() const { return WordSpan{words_.data(), words_.size()}; }
+
  private:
   void TrimTail() {
     if (size_ % 64 != 0 && !words_.empty()) {
@@ -141,7 +197,7 @@ class DynamicBitset {
   }
 
   size_t size_ = 0;
-  std::vector<uint64_t> words_;
+  AlignedWordVector words_;
 };
 
 }  // namespace fuser

@@ -76,7 +76,11 @@ StatusOr<SourceClustering> ClusterSourcesByCorrelation(
 
   FUSER_ASSIGN_OR_RETURN(
       std::vector<PairwiseCorrelation> pairs,
-      ComputePairwiseCorrelations(dataset, train_mask, all, stats_options));
+      options.use_sketch
+          ? ComputePairwiseCorrelationsApprox(dataset, train_mask, all,
+                                              stats_options, options.sketch)
+          : ComputePairwiseCorrelations(dataset, train_mask, all,
+                                        stats_options));
 
   // Pairwise factors are compared against the *empirical background*, not
   // against 1: conditioning the dataset on "provided by at least one
@@ -117,6 +121,12 @@ StatusOr<SourceClustering> ClusterSourcesByCorrelation(
   };
   for (const PairwiseCorrelation& pc : pairs) {
     if (pc.support < options.min_support) continue;
+    // In sketch mode only oracle-confirmed pairs may become edges:
+    // estimated joint counts move in jumps of the sketch scale, which
+    // fakes huge deviations on near-empty baselines. The sketch path
+    // re-scores every significant pair exactly, so real edges all have
+    // exact counts here (exact mode: every pair does).
+    if (pc.estimated) continue;
     double dev_true =
         significant(static_cast<double>(pc.joint_true_count),
                     pc.indep_true_count, kappa_true);

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "core/correlation.h"
 #include "model/dataset.h"
+#include "stats/correlation_sketch.h"
 
 namespace fuser {
 
@@ -32,6 +33,12 @@ struct ClusteringOptions {
   /// Hard cap on cluster size; merges that would exceed it are skipped.
   /// Must be <= 64 (joint masks are 64-bit).
   size_t max_cluster_size = 20;
+  /// When true, pairwise correlations are estimated with the coordinated
+  /// sketch (stats/correlation_sketch.h) instead of the exact O(S^2 * m)
+  /// bitset pass — the pre-screen for hundreds of sources. The most
+  /// significant pairs are still re-scored exactly (sketch.exact_top_k).
+  bool use_sketch = false;
+  ApproxOptions sketch;
 };
 
 /// Result of clustering: a partition of all sources. Sources with no strong

@@ -49,80 +49,116 @@ AggressiveFactors ComputeAggressiveFactors(const JointStatsProvider& stats) {
   return factors;
 }
 
-StatusOr<std::vector<PairwiseCorrelation>> ComputePairwiseCorrelations(
+StatusOr<PairwiseMarginals> ComputePairwiseMarginals(
     const Dataset& dataset, const DynamicBitset& train_mask,
-    const std::vector<SourceId>& sources, const JointStatsOptions& options) {
+    const std::vector<SourceId>& sources, const JointStatsOptions& options,
+    bool materialize_outputs) {
   if (!dataset.finalized()) {
     return Status::FailedPrecondition("dataset not finalized");
   }
-  // Direct bitset counting: C_ab = r_ab / (r_a r_b) with
-  // r_X = |O_X ∩ true ∩ train| / |true ∩ train| and the count-level
-  // Theorem 3.5 form for q. Scope-restricted denominators are deliberately
-  // not used here (pairwise factors are a screening heuristic); the
-  // per-cluster joint statistics built afterwards honor scopes.
-  DynamicBitset train_true = dataset.true_mask();
-  train_true.AndWith(train_mask);
-  DynamicBitset train_false = dataset.labeled_mask();
-  train_false.AndWith(train_mask);
-  train_false.AndNotWith(dataset.true_mask());
+  // Direct bitset counting: r_X = |O_X ∩ true ∩ train| / |true ∩ train|
+  // and the count-level Theorem 3.5 form for q. Scope-restricted
+  // denominators are deliberately not used here (pairwise factors are a
+  // screening heuristic); the per-cluster joint statistics built
+  // afterwards honor scopes.
+  PairwiseMarginals marginals;
+  marginals.sources = sources;
+  marginals.train_true = dataset.true_mask();
+  marginals.train_true.AndWith(train_mask);
+  marginals.train_false = dataset.labeled_mask();
+  marginals.train_false.AndWith(train_mask);
+  marginals.train_false.AndNotWith(dataset.true_mask());
 
-  const double total_true = static_cast<double>(train_true.Count());
-  const double alpha_odds = options.alpha / (1.0 - options.alpha);
+  marginals.total_true = static_cast<double>(marginals.train_true.Count());
+  marginals.alpha_odds = options.alpha / (1.0 - options.alpha);
+  marginals.smoothing = options.smoothing;
   const double s = options.smoothing;
 
-  // Per-source intersections with the class masks, precomputed.
-  std::vector<DynamicBitset> out_true;
-  std::vector<DynamicBitset> out_false;
-  out_true.reserve(sources.size());
-  out_false.reserve(sources.size());
-  std::vector<double> r(sources.size());
-  std::vector<double> q(sources.size());
-  for (size_t i = 0; i < sources.size(); ++i) {
-    DynamicBitset ot = dataset.output(sources[i]);
-    ot.AndWith(train_true);
-    DynamicBitset of = dataset.output(sources[i]);
-    of.AndWith(train_false);
-    double nt = static_cast<double>(ot.Count());
-    double nf = static_cast<double>(of.Count());
-    double den = total_true + 2.0 * s;
-    r[i] = den > 0.0 ? (nt + s) / den : 0.0;
-    q[i] = den > 0.0 ? std::min(alpha_odds * (nf + s) / den, 1.0) : 0.0;
-    out_true.push_back(std::move(ot));
-    out_false.push_back(std::move(of));
+  // Per-source intersections with the class masks. The materialized
+  // copies are what the exact path's O(S^2) AndCounts run over; the
+  // sketch path skips them (counts only are needed, one AndCount each).
+  if (materialize_outputs) {
+    marginals.out_true.reserve(sources.size());
+    marginals.out_false.reserve(sources.size());
   }
-
-  std::vector<size_t> labeled_count(sources.size());
+  marginals.r.resize(sources.size());
+  marginals.q.resize(sources.size());
+  marginals.labeled_count.resize(sources.size());
   for (size_t i = 0; i < sources.size(); ++i) {
-    labeled_count[i] = out_true[i].Count() + out_false[i].Count();
+    double nt;
+    double nf;
+    if (materialize_outputs) {
+      DynamicBitset ot = dataset.output(sources[i]);
+      ot.AndWith(marginals.train_true);
+      DynamicBitset of = dataset.output(sources[i]);
+      of.AndWith(marginals.train_false);
+      nt = static_cast<double>(ot.Count());
+      nf = static_cast<double>(of.Count());
+      marginals.out_true.push_back(std::move(ot));
+      marginals.out_false.push_back(std::move(of));
+    } else {
+      nt = static_cast<double>(
+          dataset.output(sources[i]).AndCount(marginals.train_true));
+      nf = static_cast<double>(
+          dataset.output(sources[i]).AndCount(marginals.train_false));
+    }
+    double den = marginals.total_true + 2.0 * s;
+    marginals.r[i] = den > 0.0 ? (nt + s) / den : 0.0;
+    marginals.q[i] =
+        den > 0.0 ? std::min(marginals.alpha_odds * (nf + s) / den, 1.0) : 0.0;
+    marginals.labeled_count[i] =
+        static_cast<size_t>(nt) + static_cast<size_t>(nf);
   }
+  return marginals;
+}
 
+PairwiseCorrelation MakePairwiseCorrelation(const PairwiseMarginals& marginals,
+                                            size_t a, size_t b,
+                                            double joint_true,
+                                            double joint_false) {
+  const double total_true = marginals.total_true;
+  const double alpha_odds = marginals.alpha_odds;
+  const double s = marginals.smoothing;
+  const std::vector<double>& r = marginals.r;
+  const std::vector<double>& q = marginals.q;
+  double den = total_true + 2.0 * s;
+  double r_ab = den > 0.0 ? (joint_true + s) / den : 0.0;
+  double q_ab =
+      den > 0.0 ? std::min(alpha_odds * (joint_false + s) / den, 1.0) : 0.0;
+  PairwiseCorrelation corr;
+  corr.a = marginals.sources[a];
+  corr.b = marginals.sources[b];
+  corr.factors.on_true = r[a] * r[b] > 0.0 ? r_ab / (r[a] * r[b]) : 1.0;
+  corr.factors.on_false = q[a] * q[b] > 0.0 ? q_ab / (q[a] * q[b]) : 1.0;
+  // Evidence strength: the smaller side's labeled output bounds how
+  // much overlap could have been observed (anti-correlated pairs have
+  // zero joint count by construction, so joint size is unusable here).
+  corr.support =
+      std::min(marginals.labeled_count[a], marginals.labeled_count[b]);
+  corr.joint_true_count = static_cast<size_t>(joint_true);
+  corr.joint_false_count = static_cast<size_t>(joint_false);
+  corr.indep_true_count = r[a] * r[b] * total_true;
+  corr.indep_false_count =
+      total_true > 0.0 ? q[a] * q[b] * total_true / alpha_odds : 0.0;
+  return corr;
+}
+
+StatusOr<std::vector<PairwiseCorrelation>> ComputePairwiseCorrelations(
+    const Dataset& dataset, const DynamicBitset& train_mask,
+    const std::vector<SourceId>& sources, const JointStatsOptions& options) {
+  FUSER_ASSIGN_OR_RETURN(
+      PairwiseMarginals marginals,
+      ComputePairwiseMarginals(dataset, train_mask, sources, options));
   std::vector<PairwiseCorrelation> result;
   result.reserve(sources.size() * (sources.size() - 1) / 2);
   for (size_t a = 0; a < sources.size(); ++a) {
     for (size_t b = a + 1; b < sources.size(); ++b) {
-      double joint_true = static_cast<double>(out_true[a].AndCount(out_true[b]));
-      double joint_false =
-          static_cast<double>(out_false[a].AndCount(out_false[b]));
-      double den = total_true + 2.0 * s;
-      double r_ab = den > 0.0 ? (joint_true + s) / den : 0.0;
-      double q_ab =
-          den > 0.0 ? std::min(alpha_odds * (joint_false + s) / den, 1.0) : 0.0;
-      PairwiseCorrelation corr;
-      corr.a = sources[a];
-      corr.b = sources[b];
-      corr.factors.on_true = r[a] * r[b] > 0.0 ? r_ab / (r[a] * r[b]) : 1.0;
-      corr.factors.on_false = q[a] * q[b] > 0.0 ? q_ab / (q[a] * q[b]) : 1.0;
-      // Evidence strength: the smaller side's labeled output bounds how
-      // much overlap could have been observed (anti-correlated pairs have
-      // zero joint count by construction, so joint size is unusable here).
-      corr.support = std::min(labeled_count[a], labeled_count[b]);
-      corr.joint_true_count = static_cast<size_t>(joint_true);
-      corr.joint_false_count = static_cast<size_t>(joint_false);
-      corr.indep_true_count = r[a] * r[b] * total_true;
-      corr.indep_false_count = total_true > 0.0
-                                   ? q[a] * q[b] * total_true / alpha_odds
-                                   : 0.0;
-      result.push_back(corr);
+      double joint_true = static_cast<double>(
+          marginals.out_true[a].AndCount(marginals.out_true[b]));
+      double joint_false = static_cast<double>(
+          marginals.out_false[a].AndCount(marginals.out_false[b]));
+      result.push_back(
+          MakePairwiseCorrelation(marginals, a, b, joint_true, joint_false));
     }
   }
   return result;

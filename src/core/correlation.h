@@ -58,13 +58,60 @@ struct PairwiseCorrelation {
   size_t joint_false_count = 0;
   double indep_true_count = 0.0;
   double indep_false_count = 0.0;
+  /// True when the joint counts are sketch estimates (may carry sampling
+  /// error); false for exact bitset counts, including sketch-mode pairs
+  /// re-scored by the exact oracle.
+  bool estimated = false;
 };
 
 /// All pairwise correlations among `sources` (global ids). The returned
-/// vector has one entry per unordered pair.
+/// vector has one entry per unordered pair. O(|sources|^2) full bitset
+/// passes over the training triples; for large source counts see the
+/// sketch estimator in stats/correlation_sketch.h.
 StatusOr<std::vector<PairwiseCorrelation>> ComputePairwiseCorrelations(
     const Dataset& dataset, const DynamicBitset& train_mask,
     const std::vector<SourceId>& sources, const JointStatsOptions& options);
+
+/// The per-source (linear-cost) half of pairwise discovery, shared by the
+/// exact path and the sketch estimator: class masks over the training
+/// triples, per-source class intersections, and the exact marginal rates
+/// r_i (recall) and q_i (Theorem 3.5 count-form fpr). Only the O(S^2)
+/// joint counts differ between the exact and approximate paths.
+struct PairwiseMarginals {
+  /// The sources the marginals were computed for (global ids; indices
+  /// below are positions in this vector).
+  std::vector<SourceId> sources;
+  DynamicBitset train_true;   // true ∩ train
+  DynamicBitset train_false;  // labeled ∩ train ∩ ~true
+  double total_true = 0.0;    // |train_true|
+  double alpha_odds = 1.0;    // alpha / (1 - alpha)
+  double smoothing = 0.0;
+  /// Per-source output ∩ class-mask bitsets (the exact joint counts are
+  /// AndCounts of these). Empty when the marginals were computed with
+  /// `materialize_outputs = false` — the sketch path counts its few
+  /// oracle rescores with the three-way AND+popcount kernel instead of
+  /// paying 2S bitset copies up front.
+  std::vector<DynamicBitset> out_true;
+  std::vector<DynamicBitset> out_false;
+  std::vector<double> r;  // marginal recall per source
+  std::vector<double> q;  // marginal fpr per source
+  /// |out_true[i]| + |out_false[i]|: the source's labeled output size.
+  std::vector<size_t> labeled_count;
+};
+
+StatusOr<PairwiseMarginals> ComputePairwiseMarginals(
+    const Dataset& dataset, const DynamicBitset& train_mask,
+    const std::vector<SourceId>& sources, const JointStatsOptions& options,
+    bool materialize_outputs = true);
+
+/// Assembles one PairwiseCorrelation from marginals and joint counts
+/// (exact or sketch-estimated) for the pair at positions (a, b) of
+/// `marginals.sources`. The C/C! factor arithmetic lives here once so the
+/// exact and approximate paths cannot drift.
+PairwiseCorrelation MakePairwiseCorrelation(const PairwiseMarginals& marginals,
+                                            size_t a, size_t b,
+                                            double joint_true,
+                                            double joint_false);
 
 }  // namespace fuser
 

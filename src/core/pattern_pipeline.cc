@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/math_util.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 
 namespace fuser {
@@ -78,7 +79,7 @@ void ExtractPatternKeys(const Dataset& dataset, const ClusterMaskContext& ctx,
     const size_t block_begin = wi << 6;
     const size_t block_end = std::min<size_t>(block_begin + 64, end);
     for (size_t i = 0; i < k; ++i) rows[i] = ctx.provider_words[i][wi];
-    TransposeBitColumns(rows, k, cols);
+    simd::TransposeBitColumns(rows, k, cols);
     for (; t < block_end; ++t) {
       const Mask scope = scoped ? ctx.domain_scope[dataset.domain(
                                       static_cast<TripleId>(t))]
@@ -193,7 +194,7 @@ StatusOr<PatternGrouping> BuildPatternGrouping(const Dataset& dataset,
               for (size_t i = 0; i < k; ++i) {
                 rows[i] = ctx.provider_words[i][wi];
               }
-              TransposeBitColumns(rows, k, cols);
+              simd::TransposeBitColumns(rows, k, cols);
               for (; t < block_end; ++t) {
                 const Mask prov = cols[t - block_begin];
                 uint32_t& slot = table[prov];
@@ -537,6 +538,27 @@ std::vector<double> GatherPatternScores(const PatternGrouping& grouping,
                                         size_t num_threads, ThreadPool* pool) {
   std::vector<double> scores(grouping.num_triples);
   if (grouping.num_triples == 0) return scores;
+  if (!table.posterior.empty()) {
+    // Single cluster: the combine collapses to scores[t] =
+    // posterior[pattern_of[0][t]] (exactly what CombineClusterEntries
+    // reads), so run the dispatched gather kernel over blocks instead of
+    // a lambda per triple. An exact copy either way — byte-identical to
+    // the per-triple path at every thread count and dispatch level.
+    const std::vector<size_t>& pattern_of = grouping.pattern_of[0];
+    constexpr size_t kBlock = 8192;
+    const size_t num_blocks = (grouping.num_triples + kBlock - 1) / kBlock;
+    ParallelFor(
+        num_blocks, num_threads,
+        [&](size_t bi) {
+          const size_t begin = bi * kBlock;
+          const size_t len = std::min(kBlock, grouping.num_triples - begin);
+          simd::GatherDoubles(table.posterior.data(),
+                              pattern_of.data() + begin, len,
+                              scores.data() + begin);
+        },
+        ParallelForOptions{pool, nullptr});
+    return scores;
+  }
   ParallelFor(
       grouping.num_triples, num_threads,
       [&](size_t t) { scores[t] = CombineClusterEntries(table, grouping, t); },

@@ -79,6 +79,36 @@ SyntheticConfig MakeIndependentConfig(size_t num_sources, size_t num_triples,
   return config;
 }
 
+SyntheticConfig MakeManySourcesConfig(size_t num_sources, size_t num_triples,
+                                      uint64_t seed) {
+  const double recall =
+      std::min(0.45, 32.0 / std::max<double>(1.0, num_sources));
+  SyntheticConfig config =
+      MakeIndependentConfig(num_sources, num_triples, /*fraction_true=*/0.4,
+                            /*precision=*/0.7, recall, seed);
+  // Vary precision deterministically so marginals differ across sources.
+  for (size_t s = 0; s < num_sources; ++s) {
+    config.sources[s].precision = 0.6 + 0.25 * static_cast<double>(s % 8) / 7.0;
+  }
+  // One planted group of 4 consecutive sources per 64 sources (at least
+  // one), alternating class so both C and C! have signal.
+  const size_t num_groups = std::max<size_t>(1, num_sources / 64);
+  for (size_t g = 0; g < num_groups; ++g) {
+    const size_t base = g * 64;
+    if (base + 4 > num_sources) break;
+    GroupSpec spec;
+    spec.members = {base, base + 1, base + 2, base + 3};
+    spec.rho = 0.85;
+    if (g % 2 == 0) {
+      config.groups_true.push_back(spec);
+    } else {
+      spec.rho = 0.8;
+      config.groups_false.push_back(spec);
+    }
+  }
+  return config;
+}
+
 StatusOr<Dataset> GenerateSynthetic(const SyntheticConfig& config) {
   const size_t n = config.sources.size();
   if (n == 0) {

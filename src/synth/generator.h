@@ -84,6 +84,15 @@ SyntheticConfig MakeIndependentConfig(size_t num_sources, size_t num_triples,
                                       double fraction_true, double precision,
                                       double recall, uint64_t seed);
 
+/// Scale harness for sketch-based discovery: `num_sources` sources (think
+/// hundreds to ~1024) with varied precision, recall capped so provider
+/// lists stay bounded (~32 sources per triple regardless of source
+/// count), and injected positive-correlation groups of 4 consecutive
+/// sources — one group per 64 sources, alternating between the true and
+/// false class — so discovery has planted signal to find at every scale.
+SyntheticConfig MakeManySourcesConfig(size_t num_sources, size_t num_triples,
+                                      uint64_t seed);
+
 /// Generates a finalized dataset from `config`.
 StatusOr<Dataset> GenerateSynthetic(const SyntheticConfig& config);
 

@@ -1,0 +1,249 @@
+// Sketch-based approximate correlation discovery: exhaustive-sample
+// exactness, the Hoeffding error-bound contract, oracle rescoring of the
+// significant pairs, and clustering in sketch mode.
+#include "stats/correlation_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <utility>
+
+#include "core/clustering.h"
+#include "core/correlation.h"
+#include "synth/generator.h"
+
+namespace fuser {
+namespace {
+
+std::vector<SourceId> AllSources(const Dataset& d) {
+  std::vector<SourceId> all(d.num_sources());
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+Dataset SmallCorrelatedDataset() {
+  SyntheticConfig config = MakeIndependentConfig(
+      /*num_sources=*/8, /*num_triples=*/2000, /*fraction_true=*/0.4,
+      /*precision=*/0.7, /*recall=*/0.45, /*seed=*/17);
+  config.groups_true = {{{0, 1, 2}, 0.85}};
+  config.groups_false = {{{3, 4, 5}, 0.8}};
+  auto dataset = GenerateSynthetic(config);
+  EXPECT_TRUE(dataset.ok()) << dataset.status();
+  return std::move(*dataset);
+}
+
+TEST(CorrelationSketchTest, ErrorBoundFormula) {
+  // sqrt(ln(2/delta) / (2k)), shrinking like 1/sqrt(k).
+  EXPECT_NEAR(SketchErrorBound(2048, 1e-4),
+              std::sqrt(std::log(2.0 / 1e-4) / 4096.0), 1e-12);
+  EXPECT_LT(SketchErrorBound(4096, 1e-4), SketchErrorBound(1024, 1e-4));
+  EXPECT_EQ(SketchErrorBound(0, 1e-4), 1.0);
+}
+
+TEST(CorrelationSketchTest, SketchSizeZeroRejected) {
+  Dataset ds = SmallCorrelatedDataset();
+  auto sketch = CorrelationSketch::Build(ds, ds.labeled_mask(),
+                                         AllSources(ds), 0, 1);
+  EXPECT_FALSE(sketch.ok());
+  ApproxOptions approx;
+  approx.sketch_size = 0;
+  auto pairs = ComputePairwiseCorrelationsApprox(ds, ds.labeled_mask(),
+                                                 AllSources(ds), {}, approx);
+  EXPECT_FALSE(pairs.ok());
+}
+
+TEST(CorrelationSketchTest, ExhaustiveSampleIsExact) {
+  // When the sample covers the whole class, every estimate is the exact
+  // joint count and the factors match the exact path bit for bit.
+  Dataset ds = SmallCorrelatedDataset();
+  auto exact =
+      ComputePairwiseCorrelations(ds, ds.labeled_mask(), AllSources(ds), {});
+  ASSERT_TRUE(exact.ok());
+  ApproxOptions approx;
+  approx.sketch_size = 4096;  // > both class sizes
+  approx.exact_top_k = 0;     // raw estimates only
+  ApproxDiscoveryReport report;
+  auto estimated = ComputePairwiseCorrelationsApprox(
+      ds, ds.labeled_mask(), AllSources(ds), {}, approx, &report);
+  ASSERT_TRUE(estimated.ok());
+  EXPECT_EQ(report.sampled_true, report.total_true);
+  EXPECT_EQ(report.sampled_false, report.total_false);
+  EXPECT_EQ(report.rescored_pairs, 0u);
+  ASSERT_EQ(estimated->size(), exact->size());
+  for (size_t i = 0; i < exact->size(); ++i) {
+    const PairwiseCorrelation& e = (*exact)[i];
+    const PairwiseCorrelation& a = (*estimated)[i];
+    EXPECT_EQ(e.a, a.a);
+    EXPECT_EQ(e.b, a.b);
+    EXPECT_EQ(e.joint_true_count, a.joint_true_count);
+    EXPECT_EQ(e.joint_false_count, a.joint_false_count);
+    EXPECT_EQ(e.factors.on_true, a.factors.on_true);
+    EXPECT_EQ(e.factors.on_false, a.factors.on_false);
+    EXPECT_EQ(e.support, a.support);
+    EXPECT_FALSE(e.estimated);
+    EXPECT_TRUE(a.estimated);
+  }
+}
+
+TEST(CorrelationSketchTest, JointRateErrorWithinBound) {
+  SyntheticConfig config = MakeManySourcesConfig(/*num_sources=*/64,
+                                                 /*num_triples=*/30000,
+                                                 /*seed=*/91);
+  auto ds_or = GenerateSynthetic(config);
+  ASSERT_TRUE(ds_or.ok());
+  Dataset ds = std::move(*ds_or);
+  auto exact =
+      ComputePairwiseCorrelations(ds, ds.labeled_mask(), AllSources(ds), {});
+  ASSERT_TRUE(exact.ok());
+  ApproxOptions approx;
+  approx.sketch_size = 1024;
+  approx.exact_top_k = 0;
+  ApproxDiscoveryReport report;
+  auto estimated = ComputePairwiseCorrelationsApprox(
+      ds, ds.labeled_mask(), AllSources(ds), {}, approx, &report);
+  ASSERT_TRUE(estimated.ok());
+  const double bound = SketchErrorBound(approx.sketch_size, approx.delta);
+  EXPECT_EQ(report.error_bound, bound);
+  ASSERT_GT(report.total_true, 0u);
+  ASSERT_GT(report.total_false, 0u);
+  for (size_t i = 0; i < exact->size(); ++i) {
+    const double err_true =
+        std::fabs(static_cast<double>((*estimated)[i].joint_true_count) -
+                  static_cast<double>((*exact)[i].joint_true_count)) /
+        static_cast<double>(report.total_true);
+    const double err_false =
+        std::fabs(static_cast<double>((*estimated)[i].joint_false_count) -
+                  static_cast<double>((*exact)[i].joint_false_count)) /
+        static_cast<double>(report.total_false);
+    EXPECT_LE(err_true, bound) << "pair " << i;
+    EXPECT_LE(err_false, bound) << "pair " << i;
+  }
+}
+
+TEST(CorrelationSketchTest, OracleRescoresThePlantedPairs) {
+  SyntheticConfig config = MakeManySourcesConfig(/*num_sources=*/128,
+                                                 /*num_triples=*/30000,
+                                                 /*seed=*/23);
+  auto ds_or = GenerateSynthetic(config);
+  ASSERT_TRUE(ds_or.ok());
+  Dataset ds = std::move(*ds_or);
+  ASSERT_FALSE(config.groups_true.empty());
+  ASSERT_FALSE(config.groups_false.empty());
+  ApproxOptions approx;
+  approx.sketch_size = 1024;
+  ApproxDiscoveryReport report;
+  auto pairs = ComputePairwiseCorrelationsApprox(
+      ds, ds.labeled_mask(), AllSources(ds), {}, approx, &report);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_GT(report.rescored_pairs, 0u);
+  EXPECT_LE(report.rescored_pairs, approx.exact_top_k);
+  std::set<std::pair<SourceId, SourceId>> rescored;
+  for (const PairwiseCorrelation& pc : *pairs) {
+    if (!pc.estimated) rescored.insert({pc.a, pc.b});
+  }
+  EXPECT_EQ(rescored.size(), report.rescored_pairs);
+  // Every planted within-group pair must be caught by the pre-screen and
+  // re-scored exactly; positive groups must show factors > 1 on their
+  // class.
+  auto expect_found = [&](const std::vector<GroupSpec>& groups,
+                          bool on_true) {
+    for (const GroupSpec& g : groups) {
+      for (size_t i = 0; i < g.members.size(); ++i) {
+        for (size_t j = i + 1; j < g.members.size(); ++j) {
+          SourceId a = static_cast<SourceId>(
+              std::min(g.members[i], g.members[j]));
+          SourceId b = static_cast<SourceId>(
+              std::max(g.members[i], g.members[j]));
+          EXPECT_TRUE(rescored.count({a, b}) > 0)
+              << "planted pair (" << a << "," << b << ") not rescored";
+          for (const PairwiseCorrelation& pc : *pairs) {
+            if (pc.a == a && pc.b == b) {
+              EXPECT_GT(on_true ? pc.factors.on_true : pc.factors.on_false,
+                        1.0)
+                  << "planted pair (" << a << "," << b << ")";
+            }
+          }
+        }
+      }
+    }
+  };
+  expect_found(config.groups_true, true);
+  expect_found(config.groups_false, false);
+}
+
+TEST(CorrelationSketchTest, EmptyTrainMaskYieldsNeutralEstimates) {
+  Dataset ds = SmallCorrelatedDataset();
+  DynamicBitset empty(ds.num_triples());
+  ApproxDiscoveryReport report;
+  auto pairs = ComputePairwiseCorrelationsApprox(ds, empty, AllSources(ds),
+                                                 {}, {}, &report);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(report.total_true, 0u);
+  EXPECT_EQ(report.total_false, 0u);
+  EXPECT_EQ(report.sampled_true, 0u);
+  for (const PairwiseCorrelation& pc : *pairs) {
+    EXPECT_EQ(pc.joint_true_count, 0u);
+    EXPECT_EQ(pc.joint_false_count, 0u);
+    EXPECT_EQ(pc.support, 0u);
+    EXPECT_EQ(pc.factors.on_true, 1.0);
+    EXPECT_EQ(pc.factors.on_false, 1.0);
+  }
+}
+
+TEST(CorrelationSketchTest, ClusteringWithSketchRecoversPlantedGroups) {
+  SyntheticConfig config = MakeManySourcesConfig(/*num_sources=*/128,
+                                                 /*num_triples=*/30000,
+                                                 /*seed=*/57);
+  auto ds_or = GenerateSynthetic(config);
+  ASSERT_TRUE(ds_or.ok());
+  Dataset ds = std::move(*ds_or);
+  ClusteringOptions options;
+  options.use_sketch = true;
+  options.sketch.sketch_size = 1024;
+  auto clustering =
+      ClusterSourcesByCorrelation(ds, ds.labeled_mask(), {}, options);
+  ASSERT_TRUE(clustering.ok()) << clustering.status();
+  auto expect_together = [&](const std::vector<GroupSpec>& groups) {
+    for (const GroupSpec& g : groups) {
+      for (size_t i = 1; i < g.members.size(); ++i) {
+        EXPECT_EQ(clustering->cluster_of[g.members[0]],
+                  clustering->cluster_of[g.members[i]])
+            << "planted group split between clusters";
+      }
+    }
+  };
+  expect_together(config.groups_true);
+  expect_together(config.groups_false);
+}
+
+TEST(CorrelationSketchTest, RankCorrelationsOrdersExtremes) {
+  std::vector<PairwiseCorrelation> pairs(4);
+  pairs[0].a = 0, pairs[0].b = 1;
+  pairs[0].factors = {3.0, 0.5};
+  pairs[0].support = 10;
+  pairs[1].a = 0, pairs[1].b = 2;
+  pairs[1].factors = {0.2, 2.0};
+  pairs[1].support = 10;
+  pairs[2].a = 1, pairs[2].b = 2;
+  pairs[2].factors = {1.0, 1.0};
+  pairs[2].support = 10;
+  pairs[3].a = 2, pairs[3].b = 3;
+  pairs[3].factors = {9.0, 9.0};
+  pairs[3].support = 1;  // below min_support; must be skipped
+  CorrelationRanking ranking = RankCorrelations(pairs, 2, 2);
+  ASSERT_EQ(ranking.strongest_true.size(), 2u);
+  EXPECT_EQ(ranking.strongest_true[0].factors.on_true, 3.0);
+  EXPECT_EQ(ranking.strongest_true[1].factors.on_true, 1.0);
+  ASSERT_EQ(ranking.most_anti_true.size(), 2u);
+  EXPECT_EQ(ranking.most_anti_true[0].factors.on_true, 0.2);
+  ASSERT_EQ(ranking.strongest_false.size(), 2u);
+  EXPECT_EQ(ranking.strongest_false[0].factors.on_false, 2.0);
+  ASSERT_EQ(ranking.most_anti_false.size(), 2u);
+  EXPECT_EQ(ranking.most_anti_false[0].factors.on_false, 0.5);
+}
+
+}  // namespace
+}  // namespace fuser

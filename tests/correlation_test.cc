@@ -97,6 +97,86 @@ TEST(PairwiseCorrelationTest, DetectsAntiCorrelation) {
   }
 }
 
+TEST(PairwiseCorrelationTest, EmptyLabeledMaskYieldsNeutralFactors) {
+  // No training evidence at all: every factor is the neutral 1.0 and
+  // support is 0 (the contract downstream screens rely on).
+  SyntheticConfig config =
+      MakeIndependentConfig(4, 500, 0.4, 0.7, 0.4, /*seed=*/41);
+  auto d = GenerateSynthetic(config);
+  ASSERT_TRUE(d.ok());
+  DynamicBitset empty(d->num_triples());
+  auto pairs =
+      ComputePairwiseCorrelations(*d, empty, AllSources(*d), {});
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->size(), 6u);
+  for (const PairwiseCorrelation& pc : *pairs) {
+    EXPECT_DOUBLE_EQ(pc.factors.on_true, 1.0);
+    EXPECT_DOUBLE_EQ(pc.factors.on_false, 1.0);
+    EXPECT_EQ(pc.support, 0u);
+    EXPECT_EQ(pc.joint_true_count, 0u);
+    EXPECT_EQ(pc.joint_false_count, 0u);
+  }
+}
+
+TEST(PairwiseCorrelationTest, SingleOrNoSourceYieldsNoPairs) {
+  SyntheticConfig config =
+      MakeIndependentConfig(3, 500, 0.4, 0.7, 0.4, /*seed=*/43);
+  auto d = GenerateSynthetic(config);
+  ASSERT_TRUE(d.ok());
+  auto one = ComputePairwiseCorrelations(*d, d->labeled_mask(), {0}, {});
+  ASSERT_TRUE(one.ok());
+  EXPECT_TRUE(one->empty());
+  auto none = ComputePairwiseCorrelations(*d, d->labeled_mask(), {}, {});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(PairwiseCorrelationTest, DisjointScopesHaveZeroJointCounts) {
+  // Sources on complementary partitions of both classes never overlap:
+  // joint counts are zero and both factors collapse toward zero
+  // (anti-correlation), never to a spurious positive value.
+  SyntheticConfig config =
+      MakeIndependentConfig(2, 2000, 0.5, 0.7, 0.4, /*seed=*/47);
+  config.true_partition_fractions = {0.5, 0.5};
+  config.false_partition_fractions = {0.5, 0.5};
+  config.sources[0].true_partition = 0;
+  config.sources[0].false_partition = 0;
+  config.sources[1].true_partition = 1;
+  config.sources[1].false_partition = 1;
+  auto d = GenerateSynthetic(config);
+  ASSERT_TRUE(d.ok());
+  auto pairs = ComputePairwiseCorrelations(*d, d->labeled_mask(),
+                                           AllSources(*d), {});
+  ASSERT_TRUE(pairs.ok());
+  ASSERT_EQ(pairs->size(), 1u);
+  EXPECT_EQ((*pairs)[0].joint_true_count, 0u);
+  EXPECT_EQ((*pairs)[0].joint_false_count, 0u);
+  EXPECT_LT((*pairs)[0].factors.on_true, 0.1);
+  EXPECT_GT((*pairs)[0].support, 0u);
+}
+
+TEST(PairwiseCorrelationTest, ZeroRecallSourceGetsNeutralTrueFactor) {
+  // A source that provides nothing has r = (0 + s) / den; with zero
+  // smoothing r = 0 and the on_true factor for any pair involving it must
+  // be the neutral 1.0 (zero denominator contract), not inf/NaN.
+  SyntheticConfig config =
+      MakeIndependentConfig(3, 1000, 0.4, 0.7, 0.4, /*seed=*/53);
+  config.sources[2].recall = 0.0;
+  auto d = GenerateSynthetic(config);
+  ASSERT_TRUE(d.ok());
+  JointStatsOptions no_smoothing;
+  no_smoothing.smoothing = 0.0;
+  auto pairs = ComputePairwiseCorrelations(*d, d->labeled_mask(),
+                                           AllSources(*d), no_smoothing);
+  ASSERT_TRUE(pairs.ok());
+  for (const PairwiseCorrelation& pc : *pairs) {
+    if (pc.b == 2 || pc.a == 2) {
+      EXPECT_DOUBLE_EQ(pc.factors.on_true, 1.0);
+      EXPECT_EQ(pc.joint_true_count, 0u);
+    }
+  }
+}
+
 TEST(ClusteringTest, GroupsStronglyCorrelatedSources) {
   SyntheticConfig config =
       MakeIndependentConfig(8, 3000, 0.4, 0.7, 0.4, /*seed=*/29);
