@@ -1,0 +1,182 @@
+// Sharded scale-out benchmark: streaming ingest + query scaling at K = 1,
+// 2, 4, 8 shards on a scoped synthetic corpus (12 sources, 96 entity
+// domains, ~440k provided triples at the default universe size).
+//
+// The update stream is domain-localized — each micro-batch touches domains
+// owned by a single shard at every measured K (buckets are formed by the
+// shard hash at K = 8, and hash % 4, % 2, % 1 are determined by
+// hash % 8) — so a K-shard router re-estimates quality over ~M/K triples
+// per batch where the single-shard engine re-walks all M. That work
+// reduction, not parallelism, is the scaling claim: the curve holds at
+// num_threads = 1 on a single core.
+//
+// Standalone binary (no google-benchmark), single-line JSON on stdout so
+// scripts/check_bench.py can gate ingest_speedup_4 and scores_identical:
+//
+//   ./bench_sharding [num_triples] [stream_fraction] [batches_per_bucket]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "shard/partition.h"
+#include "shard/sharded_engine.h"
+#include "shard/sharded_service.h"
+#include "synth/generator.h"
+#include "synth/stream_replay.h"
+
+namespace fuser {
+namespace {
+
+constexpr uint32_t kShardCounts[] = {1, 2, 4, 8};
+
+int Main(int argc, char** argv) {
+  // Universe size; ~80% of it survives as provided triples.
+  size_t num_triples = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 500000;
+  double stream_fraction = argc > 2 ? std::strtod(argv[2], nullptr) : 0.1;
+  size_t batches_per_bucket =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 32;
+
+  SyntheticConfig config = MakeIndependentConfig(
+      /*num_sources=*/12, num_triples, /*fraction_true=*/0.4,
+      /*precision=*/0.7, /*recall=*/0.45, /*seed=*/301);
+  config.num_domains = 96;
+  auto final_or = GenerateSynthetic(config);
+  FUSER_CHECK(final_or.ok()) << final_or.status();
+  const Dataset& final = *final_or;
+  const TripleId total = static_cast<TripleId>(final.num_triples());
+  const TripleId prefix = static_cast<TripleId>(
+      static_cast<double>(total) * (1.0 - stream_fraction));
+
+  // Domain-localized micro-batches: bucket the suffix by the K = 8 shard
+  // of each triple's domain — hash % 8 determines hash % K for K | 8, so
+  // every bucket lands on exactly one shard at each measured K — then
+  // split each bucket into `batches_per_bucket` consecutive micro-batches
+  // (live ingestion arrives in many small domain-local updates, not one
+  // bulk load per shard).
+  const ShardingOptions bucket_options{/*num_shards=*/8};
+  std::vector<std::vector<TripleId>> buckets(8);
+  for (TripleId t = prefix; t < total; ++t) {
+    const std::string& domain = final.domain_name(final.domain(t));
+    buckets[ShardOfDomain(domain, bucket_options)].push_back(t);
+  }
+  std::vector<ObservationBatch> batches;
+  size_t observations_streamed = 0;
+  for (const std::vector<TripleId>& bucket : buckets) {
+    if (bucket.empty()) continue;
+    const size_t step =
+        std::max<size_t>(1, (bucket.size() + batches_per_bucket - 1) /
+                                batches_per_bucket);
+    for (size_t lo = 0; lo < bucket.size(); lo += step) {
+      const size_t hi = std::min(lo + step, bucket.size());
+      ObservationBatch batch;
+      for (size_t i = lo; i < hi; ++i) {
+        const TripleId t = bucket[i];
+        const std::string& domain = final.domain_name(final.domain(t));
+        for (SourceId s : final.providers(t)) {
+          batch.observations.push_back({final.source_name(s), final.triple(t),
+                                        domain});
+          ++observations_streamed;
+        }
+        if (final.label(t) != Label::kUnknown) {
+          batch.labels.push_back({final.triple(t),
+                                  final.label(t) == Label::kTrue});
+        }
+      }
+      batches.push_back(std::move(batch));
+    }
+  }
+
+  EngineOptions options;
+  options.model.use_scopes = true;
+  options.num_threads = 1;  // the curve is work reduction, not parallelism
+  const std::vector<MethodSpec> specs = {*ParseMethodSpec("union-50"),
+                                         *ParseMethodSpec("precrec"),
+                                         *ParseMethodSpec("precrec-corr")};
+
+  double ingest_seconds[4] = {0, 0, 0, 0};
+  double query_seconds[4] = {0, 0, 0, 0};
+  std::vector<std::vector<double>> reference_scores;
+  bool identical = true;
+  for (size_t ki = 0; ki < 4; ++ki) {
+    const uint32_t k = kShardCounts[ki];
+    auto prefix_or = PrefixDataset(final, prefix);
+    FUSER_CHECK(prefix_or.ok()) << prefix_or.status();
+    auto engine_or =
+        ShardedFusionEngine::Create(*prefix_or, ShardingOptions{k}, options);
+    FUSER_CHECK(engine_or.ok()) << engine_or.status();
+    ShardedFusionEngine& engine = **engine_or;
+    Status prepared = engine.Prepare(prefix_or->labeled_mask());
+    FUSER_CHECK(prepared.ok()) << prepared;
+    // Warm the global model so Update maintains live serving state.
+    FUSER_CHECK(engine.RunAll(specs).ok());
+
+    WallTimer ingest_timer;
+    for (const ObservationBatch& batch : batches) {
+      Status updated = engine.Update(batch);
+      FUSER_CHECK(updated.ok()) << updated;
+    }
+    ingest_seconds[ki] = ingest_timer.ElapsedSeconds();
+
+    auto runs = engine.RunAll(specs);
+    FUSER_CHECK(runs.ok()) << runs.status();
+    // Global triple ids are assigned in first-appearance order of the batch
+    // stream — identical at every K — so score vectors compare positionally.
+    if (ki == 0) {
+      for (FusionRun& run : *runs) {
+        reference_scores.push_back(std::move(run.scores));
+      }
+    } else {
+      for (size_t i = 0; i < runs->size(); ++i) {
+        identical = identical && (*runs)[i].scores == reference_scores[i];
+      }
+    }
+
+    auto published = engine.PublishSnapshot(specs);
+    FUSER_CHECK(published.ok()) << published.status();
+    ShardedFusionService service(&engine);
+    std::vector<TripleId> all(engine.num_triples());
+    for (TripleId t = 0; t < all.size(); ++t) all[t] = t;
+    WallTimer query_timer;
+    auto scored = service.ScoreBatch(**published, specs.back(), all);
+    query_seconds[ki] = query_timer.ElapsedSeconds();
+    FUSER_CHECK(scored.ok()) << scored.status();
+  }
+
+  auto speedup = [&](size_t ki) {
+    return ingest_seconds[ki] > 0.0 ? ingest_seconds[0] / ingest_seconds[ki]
+                                    : 0.0;
+  };
+  const double throughput_4 =
+      ingest_seconds[2] > 0.0
+          ? static_cast<double>(observations_streamed) / ingest_seconds[2]
+          : 0.0;
+  std::printf(
+      "{\"bench\": \"sharding\", \"num_triples\": %zu, "
+      "\"observations_streamed\": %zu, \"num_batches\": %zu, "
+      "\"ingest_seconds_1\": %.6f, \"ingest_seconds_2\": %.6f, "
+      "\"ingest_seconds_4\": %.6f, \"ingest_seconds_8\": %.6f, "
+      "\"ingest_speedup_2\": %.2f, \"ingest_speedup_4\": %.2f, "
+      "\"ingest_speedup_8\": %.2f, "
+      "\"update_throughput_obs_per_sec_4\": %.0f, "
+      "\"query_seconds_1\": %.6f, \"query_seconds_2\": %.6f, "
+      "\"query_seconds_4\": %.6f, \"query_seconds_8\": %.6f, "
+      "\"scores_identical\": %s}\n",
+      static_cast<size_t>(total), observations_streamed, batches.size(),
+      ingest_seconds[0], ingest_seconds[1], ingest_seconds[2],
+      ingest_seconds[3], speedup(1), speedup(2), speedup(3), throughput_4,
+      query_seconds[0], query_seconds[1], query_seconds[2], query_seconds[3],
+      identical ? "true" : "false");
+  FUSER_CHECK(identical) << "sharded scores diverged across shard counts";
+  return 0;
+}
+
+}  // namespace
+}  // namespace fuser
+
+int main(int argc, char** argv) { return fuser::Main(argc, argv); }

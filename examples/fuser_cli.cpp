@@ -14,6 +14,9 @@
 //              --save=PATH (persist the trained state as a snapshot)
 //              --load=PATH (warm-start from a snapshot instead of TSVs;
 //                           model parameters come from the file)
+//              --shards=K (run K domain-hash engine shards behind the
+//                           router; scores stay byte-identical; applies to
+//                           train, score, --save and --load paths)
 //              --discover[=N] (report the N strongest / most
 //                           anti-correlated source pairs instead of fusing)
 //              --approx[=K] (discover with the bottom-K correlation sketch
@@ -40,6 +43,9 @@
 #include "model/dataset_io.h"
 #include "model/split.h"
 #include "persist/snapshot_io.h"
+#include "shard/partition.h"
+#include "shard/sharded_dataset.h"
+#include "shard/sharded_engine.h"
 #include "stats/correlation_sketch.h"
 
 namespace {
@@ -78,6 +84,11 @@ void Usage(const char* argv0, std::FILE* out) {
       "  --load=PATH         warm-start from a snapshot instead of TSVs;\n"
       "                      incompatible with flags that would retrain the\n"
       "                      model (--alpha/--scopes/--cluster/...)\n"
+      "  --shards=K          partition the corpus by domain hash into K\n"
+      "                      engine shards behind a scatter-gather router;\n"
+      "                      scores are byte-identical to K=1; rejects\n"
+      "                      methods that cannot run sharded (cosine,\n"
+      "                      3estimates, ltm, runall) and --discover\n"
       "  --discover[=N]      report the N (default 5) strongest and most\n"
       "                      anti-correlated source pairs instead of fusing\n"
       "                      (takes only <observations.tsv> <gold.tsv>)\n"
@@ -129,6 +140,31 @@ std::string PairListJson(const fuser::Dataset& ds, bool on_true,
   return out + "]";
 }
 
+/// Reassembles the global-id-ordered dataset from a warm-started sharded
+/// corpus (the shards own the only copies), so the evaluation and --out
+/// paths work unchanged in sharded load mode.
+fuser::StatusOr<fuser::Dataset> MaterializeGlobal(
+    const fuser::ShardedCorpus& corpus) {
+  using namespace fuser;
+  Dataset global;
+  const Dataset& first = corpus.shard(0);
+  for (SourceId s = 0; s < first.num_sources(); ++s) {
+    global.AddSource(first.source_name(s));
+  }
+  for (TripleId t = 0; t < corpus.num_triples(); ++t) {
+    const ShardLocation loc = corpus.Locate(t);
+    const Dataset& shard = corpus.shard(loc.shard);
+    const TripleId nt = global.AddTriple(
+        shard.triple(loc.local), shard.domain_name(shard.domain(loc.local)));
+    for (SourceId s : shard.providers(loc.local)) global.Provide(s, nt);
+    if (shard.label(loc.local) != Label::kUnknown) {
+      global.SetLabel(nt, shard.label(loc.local) == Label::kTrue);
+    }
+  }
+  FUSER_RETURN_IF_ERROR(global.Finalize());
+  return global;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,6 +178,7 @@ int main(int argc, char** argv) {
   std::string load_path;
   bool runall = false;
   bool discover = false;
+  size_t shards = 0;  // 0 = unsharded
   size_t discover_top_n = 5;
   bool use_approx = false;
   ApproxOptions approx;
@@ -197,6 +234,11 @@ int main(int argc, char** argv) {
       save_path = arg.substr(7);
     } else if (StartsWith(arg, "--load=")) {
       load_path = arg.substr(7);
+    } else if (StartsWith(arg, "--shards=")) {
+      if (!ParseSizeT(arg.substr(9), &shards) || shards == 0) {
+        std::fprintf(stderr, "bad value in: %s\n", arg.c_str());
+        return 2;
+      }
     } else if (arg == "--discover") {
       discover = true;
     } else if (StartsWith(arg, "--discover=")) {
@@ -234,6 +276,20 @@ int main(int argc, char** argv) {
   if (use_approx && !discover) {
     std::fprintf(stderr, "--approx requires --discover (see --help)\n");
     return 2;
+  }
+  if (shards > 0) {
+    if (discover) {
+      std::fprintf(stderr,
+                   "--shards cannot be combined with --discover (see "
+                   "--help)\n");
+      return 2;
+    }
+    Status valid =
+        ValidateShardingOptions({static_cast<uint32_t>(shards)});
+    if (!valid.ok()) {
+      std::fprintf(stderr, "--shards: %s\n", valid.ToString().c_str());
+      return 2;
+    }
   }
 
   // ---- Discovery mode: rank pairwise source correlations, no fusion.
@@ -351,11 +407,55 @@ int main(int argc, char** argv) {
       specs.push_back(spec);
     }
   }
+  if (shards > 0) {
+    // The full registry lineup contains methods that couple triples across
+    // the corpus; reject them (and --runall, which includes them) up front
+    // rather than failing mid-run.
+    for (const MethodSpec& spec : specs) {
+      const FusionMethod* registered = MethodRegistry::Global().Find(spec.kind);
+      if (registered != nullptr && !registered->shardable()) {
+        std::fprintf(stderr,
+                     "--shards cannot run %s: the method couples triples "
+                     "across the corpus%s\n",
+                     spec.Name().c_str(),
+                     runall ? " (drop --runall and name a shardable method)"
+                            : "");
+        return 2;
+      }
+    }
+  }
 
   // ---- Materialize the dataset and a prepared (or warm-started) engine.
   std::unique_ptr<Dataset> owned_dataset;
   std::unique_ptr<FusionEngine> engine;
-  if (load_mode) {
+  std::unique_ptr<ShardedFusionEngine> sharded_engine;
+  if (load_mode && shards > 0) {
+    auto warm = ShardedFusionEngine::WarmStart(load_path, options);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   warm.status().ToString().c_str());
+      return 1;
+    }
+    sharded_engine = std::move(*warm);
+    if (sharded_engine->num_shards() != shards) {
+      std::fprintf(stderr,
+                   "--shards=%zu does not match the snapshot's %zu shards\n",
+                   shards, sharded_engine->num_shards());
+      return 2;
+    }
+    auto global = MaterializeGlobal(sharded_engine->corpus());
+    if (!global.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   global.status().ToString().c_str());
+      return 1;
+    }
+    owned_dataset = std::make_unique<Dataset>(std::move(*global));
+    std::printf(
+        "warm-started %zu shards from %s: %zu sources, %zu triples, "
+        "%zu labeled\n",
+        shards, load_path.c_str(), owned_dataset->num_sources(),
+        owned_dataset->num_triples(), owned_dataset->num_labeled());
+  } else if (load_mode) {
     auto loaded = LoadSnapshot(load_path);
     if (!loaded.ok()) {
       std::fprintf(stderr, "load failed: %s\n",
@@ -393,7 +493,8 @@ int main(int argc, char** argv) {
     // Respect the persisted split: when the snapshot was trained on a
     // strict subset of the labels, evaluate on the held-out rest (as the
     // saving run did), not on train-contaminated metrics.
-    const DynamicBitset& train = engine->train_mask();
+    const DynamicBitset& train =
+        shards > 0 ? sharded_engine->train_mask() : engine->train_mask();
     if (!(train == eval)) {
       eval.AndNotWith(train);
       std::printf("evaluating on the %zu labeled triples held out of the "
@@ -413,26 +514,52 @@ int main(int argc, char** argv) {
       train = split->train;
       eval = split->test;
     }
-    engine = std::make_unique<FusionEngine>(
-        static_cast<const Dataset*>(owned_dataset.get()), options);
-    Status prepared = engine->Prepare(train);
-    if (!prepared.ok()) {
-      std::fprintf(stderr, "%s\n", prepared.ToString().c_str());
-      return 1;
+    if (shards > 0) {
+      auto created = ShardedFusionEngine::Create(
+          *owned_dataset, {static_cast<uint32_t>(shards)}, options);
+      if (!created.ok()) {
+        std::fprintf(stderr, "%s\n", created.status().ToString().c_str());
+        return 1;
+      }
+      sharded_engine = std::move(*created);
+      Status prepared = sharded_engine->Prepare(train);
+      if (!prepared.ok()) {
+        std::fprintf(stderr, "%s\n", prepared.ToString().c_str());
+        return 1;
+      }
+    } else {
+      engine = std::make_unique<FusionEngine>(
+          static_cast<const Dataset*>(owned_dataset.get()), options);
+      Status prepared = engine->Prepare(train);
+      if (!prepared.ok()) {
+        std::fprintf(stderr, "%s\n", prepared.ToString().c_str());
+        return 1;
+      }
     }
   }
 
-  auto runs = engine->RunAll(specs);
+  auto runs = sharded_engine != nullptr ? sharded_engine->RunAll(specs)
+                                        : engine->RunAll(specs);
   if (!runs.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
                  runs.status().ToString().c_str());
     return 1;
   }
 
+  // Sharded runs are evaluated through an unprepared engine over the
+  // global-id-ordered dataset (Evaluate only reads scores and labels).
+  std::unique_ptr<FusionEngine> eval_engine;
+  if (sharded_engine != nullptr) {
+    eval_engine = std::make_unique<FusionEngine>(
+        static_cast<const Dataset*>(owned_dataset.get()), options);
+  }
+  const FusionEngine& evaluator =
+      sharded_engine != nullptr ? *eval_engine : *engine;
+
   std::string json = "[";
   for (size_t i = 0; i < runs->size(); ++i) {
     const FusionRun& run = (*runs)[i];
-    auto summary = engine->Evaluate(run, eval);
+    auto summary = evaluator.Evaluate(run, eval);
     if (!summary.ok()) {
       std::fprintf(stderr, "%s: %s\n", run.spec.Name().c_str(),
                    summary.status().ToString().c_str());
@@ -476,29 +603,57 @@ int main(int argc, char** argv) {
   if (!save_path.empty()) {
     // Materialize serving state for the scored lineup, then persist the
     // whole warm-start package (dataset + model + grouping + serving).
-    auto published = engine->PublishSnapshot(specs);
-    if (!published.ok()) {
-      std::fprintf(stderr, "publish failed: %s\n",
-                   published.status().ToString().c_str());
-      return 1;
+    if (sharded_engine != nullptr) {
+      auto published = sharded_engine->PublishSnapshot(specs);
+      if (!published.ok()) {
+        std::fprintf(stderr, "publish failed: %s\n",
+                     published.status().ToString().c_str());
+        return 1;
+      }
+      Status saved = sharded_engine->SaveSnapshot(save_path);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+        return 1;
+      }
+      std::printf("saved %zu shard snapshots + manifest to %s\n", shards,
+                  save_path.c_str());
+    } else {
+      auto published = engine->PublishSnapshot(specs);
+      if (!published.ok()) {
+        std::fprintf(stderr, "publish failed: %s\n",
+                     published.status().ToString().c_str());
+        return 1;
+      }
+      Status saved = engine->SaveSnapshot(save_path);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+        return 1;
+      }
+      std::printf("saved snapshot to %s (%zu serving entries)\n",
+                  save_path.c_str(), (*published)->serving.size());
     }
-    Status saved = engine->SaveSnapshot(save_path);
-    if (!saved.ok()) {
-      std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
-      return 1;
-    }
-    std::printf("saved snapshot to %s (%zu serving entries)\n",
-                save_path.c_str(), (*published)->serving.size());
   }
+
+  // Per-shard triple counts ([] when unsharded).
+  std::string shard_json = "[";
+  if (sharded_engine != nullptr) {
+    for (size_t k = 0; k < sharded_engine->num_shards(); ++k) {
+      if (k > 0) shard_json += ", ";
+      shard_json += StrFormat(
+          "%zu", sharded_engine->corpus().shard(k).num_triples());
+    }
+  }
+  shard_json += "]";
 
   // Machine-parseable summary: always the last stdout line.
   std::printf(
       "{\"fuser_cli\": {\"sources\": %zu, \"triples\": %zu, "
-      "\"labeled\": %zu, \"threads\": %zu, \"train_fraction\": %s, "
+      "\"labeled\": %zu, \"threads\": %zu, \"shards\": %zu, "
+      "\"shard_triples\": %s, \"train_fraction\": %s, "
       "\"warm_start\": %s, \"methods\": %s}}\n",
       owned_dataset->num_sources(), owned_dataset->num_triples(),
-      owned_dataset->num_labeled(), options.num_threads,
-      JsonNum(train_fraction).c_str(), load_mode ? "true" : "false",
-      json.c_str());
+      owned_dataset->num_labeled(), options.num_threads, shards,
+      shard_json.c_str(), JsonNum(train_fraction).c_str(),
+      load_mode ? "true" : "false", json.c_str());
   return 0;
 }

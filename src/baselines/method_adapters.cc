@@ -19,6 +19,7 @@ class UnionKMethod : public FusionMethod {
   MethodKind kind() const override { return MethodKind::kUnion; }
   const char* id() const override { return "union"; }
   const char* usage() const override { return "union-K"; }
+  bool shardable() const override { return true; }
 
   double DefaultThreshold(const MethodSpec& spec,
                           const EngineOptions& options) const override {

@@ -1,0 +1,61 @@
+// StringArena: bump-pointer storage for interned strings.
+//
+// The sharded router keys its global triple index by encoded triple text.
+// At 10-100M triples, one heap allocation per key (std::string nodes) is
+// both an allocator bottleneck and ~32 bytes of per-string bookkeeping;
+// the arena packs keys back to back in large chunks and hands out
+// string_views into stable storage (chunks are never reallocated or
+// freed until the arena dies).
+#ifndef FUSER_COMMON_ARENA_H_
+#define FUSER_COMMON_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace fuser {
+
+class StringArena {
+ public:
+  explicit StringArena(size_t chunk_bytes = 1 << 16)
+      : chunk_bytes_(chunk_bytes) {}
+
+  StringArena(const StringArena&) = delete;
+  StringArena& operator=(const StringArena&) = delete;
+  // Movable: views into the arena stay valid (chunk storage moves with it).
+  StringArena(StringArena&&) = default;
+  StringArena& operator=(StringArena&&) = default;
+
+  /// Copies `text` into the arena and returns a view of the copy. The view
+  /// stays valid for the arena's lifetime.
+  std::string_view Intern(std::string_view text) {
+    if (chunks_.empty() || text.size() > capacity_ - used_) {
+      // Oversized strings get a dedicated right-sized chunk.
+      capacity_ = std::max(text.size(), chunk_bytes_);
+      chunks_.push_back(std::make_unique<char[]>(capacity_));
+      used_ = 0;
+    }
+    char* dst = chunks_.back().get() + used_;
+    if (!text.empty()) std::memcpy(dst, text.data(), text.size());
+    used_ += text.size();
+    total_bytes_ += text.size();
+    return std::string_view(dst, text.size());
+  }
+
+  /// Total payload bytes interned (diagnostics).
+  size_t total_bytes() const { return total_bytes_; }
+
+ private:
+  size_t chunk_bytes_;
+  size_t capacity_ = 0;
+  size_t used_ = 0;
+  size_t total_bytes_ = 0;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+};
+
+}  // namespace fuser
+
+#endif  // FUSER_COMMON_ARENA_H_

@@ -81,6 +81,16 @@ StatusOr<SourceClustering> ClusterSourcesByCorrelation(
                                               stats_options, options.sketch)
           : ComputePairwiseCorrelations(dataset, train_mask, all,
                                         stats_options));
+  return ClusterSourcesFromPairs(n, pairs, options);
+}
+
+StatusOr<SourceClustering> ClusterSourcesFromPairs(
+    size_t num_sources, const std::vector<PairwiseCorrelation>& pairs,
+    const ClusteringOptions& options) {
+  if (options.max_cluster_size == 0 || options.max_cluster_size > 64) {
+    return Status::InvalidArgument("max_cluster_size must be in [1, 64]");
+  }
+  const size_t n = num_sources;
 
   // Pairwise factors are compared against the *empirical background*, not
   // against 1: conditioning the dataset on "provided by at least one
@@ -156,7 +166,11 @@ StatusOr<SourceClustering> ClusterSourcesByCorrelation(
 }
 
 StatusOr<SourceClustering> SingleCluster(const Dataset& dataset) {
-  const size_t n = dataset.num_sources();
+  return SingleClusterOf(dataset.num_sources());
+}
+
+StatusOr<SourceClustering> SingleClusterOf(size_t num_sources) {
+  const size_t n = num_sources;
   if (n > 64) {
     return Status::InvalidArgument(
         "single-cluster mode supports at most 64 sources; enable clustering");

@@ -56,9 +56,21 @@ StatusOr<SourceClustering> ClusterSourcesByCorrelation(
     const Dataset& dataset, const DynamicBitset& train_mask,
     const JointStatsOptions& stats_options, const ClusteringOptions& options);
 
+/// The edge-building + union-find half of ClusterSourcesByCorrelation,
+/// operating on already-computed pairwise correlations (exact or merged
+/// from shard-local counts). `num_sources` is the global source count;
+/// pair ids in `pairs` must be < num_sources. Identical decisions to
+/// ClusterSourcesByCorrelation given the same pairs.
+StatusOr<SourceClustering> ClusterSourcesFromPairs(
+    size_t num_sources, const std::vector<PairwiseCorrelation>& pairs,
+    const ClusteringOptions& options);
+
 /// A single cluster holding every source (requires <= 64 sources); used
 /// when clustering is disabled.
 StatusOr<SourceClustering> SingleCluster(const Dataset& dataset);
+
+/// Same, from a bare source count (no dataset needed).
+StatusOr<SourceClustering> SingleClusterOf(size_t num_sources);
 
 /// Builds a SourceClustering from an explicit partition (validated).
 StatusOr<SourceClustering> ClusteringFromPartition(

@@ -143,6 +143,109 @@ PairwiseCorrelation MakePairwiseCorrelation(const PairwiseMarginals& marginals,
   return corr;
 }
 
+StatusOr<PairwiseCounts> ComputePairwiseCounts(
+    const Dataset& dataset, const DynamicBitset& train_mask,
+    const std::vector<SourceId>& sources) {
+  if (!dataset.finalized()) {
+    return Status::FailedPrecondition("dataset not finalized");
+  }
+  PairwiseCounts counts;
+  counts.sources = sources;
+  DynamicBitset train_true = dataset.true_mask();
+  train_true.AndWith(train_mask);
+  DynamicBitset train_false = dataset.labeled_mask();
+  train_false.AndWith(train_mask);
+  train_false.AndNotWith(dataset.true_mask());
+  counts.total_true = train_true.Count();
+
+  const size_t n = sources.size();
+  std::vector<DynamicBitset> out_true;
+  std::vector<DynamicBitset> out_false;
+  out_true.reserve(n);
+  out_false.reserve(n);
+  counts.true_count.resize(n);
+  counts.false_count.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    DynamicBitset ot = dataset.output(sources[i]);
+    ot.AndWith(train_true);
+    DynamicBitset of = dataset.output(sources[i]);
+    of.AndWith(train_false);
+    counts.true_count[i] = ot.Count();
+    counts.false_count[i] = of.Count();
+    out_true.push_back(std::move(ot));
+    out_false.push_back(std::move(of));
+  }
+  counts.joint_true.reserve(n * (n - 1) / 2);
+  counts.joint_false.reserve(n * (n - 1) / 2);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      counts.joint_true.push_back(out_true[a].AndCount(out_true[b]));
+      counts.joint_false.push_back(out_false[a].AndCount(out_false[b]));
+    }
+  }
+  return counts;
+}
+
+Status MergePairwiseCounts(PairwiseCounts* into, const PairwiseCounts& from) {
+  if (into->sources != from.sources ||
+      into->joint_true.size() != from.joint_true.size()) {
+    return Status::InvalidArgument("pairwise counts over different sources");
+  }
+  into->total_true += from.total_true;
+  for (size_t i = 0; i < from.true_count.size(); ++i) {
+    into->true_count[i] += from.true_count[i];
+    into->false_count[i] += from.false_count[i];
+  }
+  for (size_t p = 0; p < from.joint_true.size(); ++p) {
+    into->joint_true[p] += from.joint_true[p];
+    into->joint_false[p] += from.joint_false[p];
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<PairwiseCorrelation>> PairwiseCorrelationsFromCounts(
+    const PairwiseCounts& counts, const JointStatsOptions& options) {
+  // Rebuild a PairwiseMarginals (minus the bitsets, which
+  // MakePairwiseCorrelation never reads) with the exact arithmetic of
+  // ComputePairwiseMarginals, then run the shared pair assembly.
+  PairwiseMarginals marginals;
+  marginals.sources = counts.sources;
+  marginals.total_true = static_cast<double>(counts.total_true);
+  marginals.alpha_odds = options.alpha / (1.0 - options.alpha);
+  marginals.smoothing = options.smoothing;
+  const double s = options.smoothing;
+  const size_t n = counts.sources.size();
+  if (counts.true_count.size() != n || counts.false_count.size() != n ||
+      counts.joint_true.size() != n * (n - 1) / 2 ||
+      counts.joint_false.size() != n * (n - 1) / 2) {
+    return Status::InvalidArgument("pairwise counts are inconsistent");
+  }
+  marginals.r.resize(n);
+  marginals.q.resize(n);
+  marginals.labeled_count.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double nt = static_cast<double>(counts.true_count[i]);
+    double nf = static_cast<double>(counts.false_count[i]);
+    double den = marginals.total_true + 2.0 * s;
+    marginals.r[i] = den > 0.0 ? (nt + s) / den : 0.0;
+    marginals.q[i] =
+        den > 0.0 ? std::min(marginals.alpha_odds * (nf + s) / den, 1.0) : 0.0;
+    marginals.labeled_count[i] =
+        static_cast<size_t>(nt) + static_cast<size_t>(nf);
+  }
+  std::vector<PairwiseCorrelation> result;
+  result.reserve(n * (n - 1) / 2);
+  size_t pair = 0;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b, ++pair) {
+      result.push_back(MakePairwiseCorrelation(
+          marginals, a, b, static_cast<double>(counts.joint_true[pair]),
+          static_cast<double>(counts.joint_false[pair])));
+    }
+  }
+  return result;
+}
+
 StatusOr<std::vector<PairwiseCorrelation>> ComputePairwiseCorrelations(
     const Dataset& dataset, const DynamicBitset& train_mask,
     const std::vector<SourceId>& sources, const JointStatsOptions& options) {

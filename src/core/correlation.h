@@ -113,6 +113,33 @@ PairwiseCorrelation MakePairwiseCorrelation(const PairwiseMarginals& marginals,
                                             double joint_true,
                                             double joint_false);
 
+/// Integer sufficient statistics behind ComputePairwiseCorrelations for one
+/// data partition: per-source class counts plus upper-triangular joint
+/// counts. Counts over disjoint partitions of the training triples sum
+/// exactly, so K shard-local PairwiseCounts merge into the global counts a
+/// single pass over the whole dataset would have produced.
+struct PairwiseCounts {
+  std::vector<SourceId> sources;
+  size_t total_true = 0;               // |true ∩ train| in this partition
+  std::vector<size_t> true_count;      // |O_i ∩ true ∩ train| per source
+  std::vector<size_t> false_count;     // |O_i ∩ labeled ∩ train ∩ ~true|
+  /// Row-major upper triangle (a < b) at index a*S - a*(a+1)/2 + (b-a-1).
+  std::vector<size_t> joint_true;
+  std::vector<size_t> joint_false;
+};
+
+StatusOr<PairwiseCounts> ComputePairwiseCounts(
+    const Dataset& dataset, const DynamicBitset& train_mask,
+    const std::vector<SourceId>& sources);
+
+/// Element-wise sum of `from` into `into` (same source list required).
+Status MergePairwiseCounts(PairwiseCounts* into, const PairwiseCounts& from);
+
+/// Builds the same pairwise correlations ComputePairwiseCorrelations would
+/// return, but from (merged) integer counts instead of dataset bitsets.
+StatusOr<std::vector<PairwiseCorrelation>> PairwiseCorrelationsFromCounts(
+    const PairwiseCounts& counts, const JointStatsOptions& options);
+
 }  // namespace fuser
 
 #endif  // FUSER_CORE_CORRELATION_H_

@@ -228,12 +228,12 @@ std::vector<TripleId> FusionEngine::CollectChangedExisting(
   return changed;
 }
 
-Status FusionEngine::UpdateClusterStats(
+std::vector<std::vector<JointPatternDelta>> FusionEngine::ComputeClusterDeltas(
     const DatasetDelta& delta, const DynamicBitset& old_train,
-    const std::vector<TripleId>& changed_existing, CorrelationModel* model) {
+    const std::vector<TripleId>& changed_existing,
+    const SourceClustering& clustering) const {
   const size_t old_m = delta.old_num_triples;
   const bool use_scopes = options_.model.use_scopes;
-  const SourceClustering& clustering = model->clustering;
 
   // Label state before the batch (ApplyBatch records the first old label
   // per triple; emplace keeps it even if a batch relabels twice).
@@ -266,6 +266,8 @@ Status FusionEngine::UpdateClusterStats(
   new_labeled.erase(std::unique(new_labeled.begin(), new_labeled.end()),
                     new_labeled.end());
 
+  std::vector<std::vector<JointPatternDelta>> result(
+      clustering.clusters.size());
   for (size_t c = 0; c < clustering.clusters.size(); ++c) {
     const std::vector<SourceId>& cluster = clustering.clusters[c];
     const Mask full = FullMask(static_cast<int>(cluster.size()));
@@ -306,7 +308,7 @@ Status FusionEngine::UpdateClusterStats(
       return std::make_pair(providers, scope);
     };
 
-    std::vector<JointPatternDelta> deltas;
+    std::vector<JointPatternDelta>& deltas = result[c];
     for (TripleId t : affected) {
       Mask added = 0;
       if (auto it = added_providers.find(t); it != added_providers.end()) {
@@ -345,9 +347,20 @@ Status FusionEngine::UpdateClusterStats(
       const auto [providers, scope] = observation(t);
       deltas.push_back({providers, scope, now == Label::kTrue, +1});
     }
-    if (deltas.empty()) continue;
+  }
+  return result;
+}
+
+Status FusionEngine::UpdateClusterStats(
+    const DatasetDelta& delta, const DynamicBitset& old_train,
+    const std::vector<TripleId>& changed_existing, CorrelationModel* model) {
+  const std::vector<std::vector<JointPatternDelta>> deltas =
+      ComputeClusterDeltas(delta, old_train, changed_existing,
+                           model->clustering);
+  for (size_t c = 0; c < deltas.size(); ++c) {
+    if (deltas[c].empty()) continue;
     FUSER_RETURN_IF_ERROR(
-        model->cluster_stats[c]->ApplyPatternDeltas(deltas));
+        model->cluster_stats[c]->ApplyPatternDeltas(deltas[c]));
   }
   return Status::OK();
 }
@@ -479,6 +492,100 @@ Status FusionEngine::Update(const ObservationBatch& batch) {
   return Status::OK();
 }
 
+StatusOr<ShardUpdateResult> FusionEngine::ApplyShardBatch(
+    const ObservationBatch& batch, const CorrelationModel* model) {
+  if (mutable_dataset_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ApplyShardBatch requires an engine constructed with a mutable "
+        "Dataset*");
+  }
+  if (!prepared_) {
+    return Status::FailedPrecondition("call Prepare before ApplyShardBatch");
+  }
+  FUSER_RETURN_IF_ERROR(CheckDatasetVersion());
+
+  ShardUpdateResult result;
+  FUSER_RETURN_IF_ERROR(mutable_dataset_->ApplyBatch(batch, &result.delta));
+  dataset_version_ = dataset_->version();
+  ++updates_applied_;
+
+  const DatasetDelta& delta = result.delta;
+  const size_t old_m = delta.old_num_triples;
+  const bool use_scopes = options_.model.use_scopes;
+
+  // Same training-set growth rule as Update.
+  DynamicBitset old_train = train_mask_;
+  train_mask_.Resize(dataset_->num_triples());
+  for (const auto& [t, old_label] : delta.label_changes) {
+    if (old_label == Label::kUnknown) train_mask_.Set(t);
+  }
+
+  FUSER_ASSIGN_OR_RETURN(
+      result.shard_quality,
+      EstimateSourceQuality(*dataset_, train_mask_,
+                            options_.model.ToQualityOptions()));
+
+  result.training_changed = !delta.label_changes.empty();
+  if (!result.training_changed) {
+    for (const auto& [s, t] : delta.new_provides) {
+      (void)s;
+      if (t < old_m && old_train.Test(t)) {
+        result.training_changed = true;
+        break;
+      }
+    }
+  }
+  if (!result.training_changed && use_scopes && !delta.scope_gains.empty()) {
+    result.training_changed = true;
+  }
+
+  result.changed_existing = CollectChangedExisting(delta, use_scopes);
+  if (model != nullptr) {
+    result.cluster_deltas = ComputeClusterDeltas(
+        delta, old_train, result.changed_existing, model->clustering);
+  }
+  return result;
+}
+
+Status FusionEngine::AdoptParameters(
+    std::vector<SourceQuality> quality,
+    std::shared_ptr<const CorrelationModel> model,
+    const std::vector<TripleId>& changed_existing) {
+  if (!prepared_) {
+    return Status::FailedPrecondition("call Prepare before AdoptParameters");
+  }
+  external_parameters_ = true;
+  dataset_version_ = dataset_->version();
+  quality_ = std::move(quality);
+  if (model == nullptr) {
+    model_ = nullptr;
+    grouping_ = nullptr;
+    Publish({});
+    return Status::OK();
+  }
+  model_ = std::move(model);
+  if (grouping_ != nullptr) {
+    const bool untouched =
+        grouping_->num_triples == dataset_->num_triples() &&
+        changed_existing.empty() &&
+        grouping_->model_fingerprint == ModelGroupingFingerprint(*model_);
+    if (!untouched) {
+      // Copy-on-write like Update: pinned snapshots keep the old grouping.
+      auto next_grouping = std::make_shared<PatternGrouping>(*grouping_);
+      Status grouping_status = UpdatePatternGrouping(
+          *dataset_, *model_, changed_existing, next_grouping.get());
+      if (grouping_status.ok()) {
+        grouping_ = std::move(next_grouping);
+      } else {
+        grouping_ = nullptr;  // degrade to a lazy rebuild
+        ++full_invalidations_;
+      }
+    }
+  }
+  Publish({});
+  return Status::OK();
+}
+
 Status FusionEngine::EnsureModel() {
   if (!prepared_) {
     return Status::FailedPrecondition("call Prepare before Run");
@@ -486,6 +593,13 @@ Status FusionEngine::EnsureModel() {
   FUSER_RETURN_IF_ERROR(CheckDatasetVersion());
   if (model_ != nullptr) {
     return Status::OK();
+  }
+  if (external_parameters_) {
+    // A shard's local dataset cannot reproduce the router-merged model;
+    // building from it would silently change scores.
+    return Status::FailedPrecondition(
+        "model is router-managed; the sharded engine must adopt parameters "
+        "before scoring");
   }
   FUSER_ASSIGN_OR_RETURN(
       CorrelationModel model,

@@ -62,6 +62,27 @@ struct FusionRun {
   double seconds = 0.0;
 };
 
+/// Result of the shard half of a router-coordinated streaming update
+/// (see shard/sharded_engine.h): everything the router needs to merge
+/// global parameters across shards. ApplyShardBatch produces it without
+/// publishing and without recomputing this engine's own parameters;
+/// AdoptParameters finishes the update once the router has merged.
+struct ShardUpdateResult {
+  DatasetDelta delta;
+  /// The batch changed this shard's training contribution (label changes,
+  /// new provides on training triples, or scope gains under use_scopes).
+  bool training_changed = false;
+  /// Existing triples whose provider/scope masks changed.
+  std::vector<TripleId> changed_existing;
+  /// Exact per-cluster pattern-count deltas against the clustering of the
+  /// model passed to ApplyShardBatch (empty when no model was passed).
+  std::vector<std::vector<JointPatternDelta>> cluster_deltas;
+  /// Post-batch per-source quality of this shard's partition. Only the raw
+  /// counts are meaningful globally: merge across shards with
+  /// MergeQualityCounts and finalize with FinalizeQualityFromCounts.
+  std::vector<SourceQuality> shard_quality;
+};
+
 /// Decision and ranking quality of a run on an evaluation set. When the
 /// eval mask is single-class (all true or all false), ranked curves are
 /// undefined: `curves_available` is false and both AUCs are NaN, but the
@@ -116,6 +137,35 @@ class FusionEngine {
   ///
   /// Requires the mutable constructor and a prior Prepare.
   Status Update(const ObservationBatch& batch);
+
+  // ---- Sharded operation (driven by shard/ShardedFusionEngine) ----------
+
+  /// The dataset this engine scores (shard routers stitch results through
+  /// per-shard datasets).
+  const Dataset* dataset() const { return dataset_; }
+
+  /// The shard half of Update: applies the batch to this shard's dataset,
+  /// extends the train mask, and returns the per-shard integer statistics
+  /// the router merges globally — without touching this engine's
+  /// quality/model/grouping and without publishing. `model` (may be null)
+  /// supplies the clustering the per-cluster pattern deltas are computed
+  /// against; the router applies them to its own clone. Must be followed
+  /// by AdoptParameters before this engine serves again.
+  StatusOr<ShardUpdateResult> ApplyShardBatch(const ObservationBatch& batch,
+                                              const CorrelationModel* model);
+
+  /// Installs router-merged global parameters: per-source quality and
+  /// (optionally) the correlation model shared by every shard. A null
+  /// model drops the cached model/grouping (the router rebuilds lazily).
+  /// With a model, the cached grouping is maintained incrementally against
+  /// `changed_existing` (triples whose masks changed) or kept as-is when
+  /// nothing relevant changed — the near-free path for shards a batch did
+  /// not touch. Publishes the new state. Marks the engine router-managed:
+  /// EnsureModel no longer builds from the shard-local dataset (which
+  /// would be globally wrong) but fails until the next adoption.
+  Status AdoptParameters(std::vector<SourceQuality> quality,
+                         std::shared_ptr<const CorrelationModel> model,
+                         const std::vector<TripleId>& changed_existing);
 
   /// Warm start (src/persist/): adopts the engine state saved in the
   /// snapshot file at `path` — training mask, source quality, correlation
@@ -258,6 +308,13 @@ class FusionEngine {
   /// Existing triples whose provider or scope masks changed in `delta`.
   std::vector<TripleId> CollectChangedExisting(const DatasetDelta& delta,
                                                bool use_scopes) const;
+  /// Exact per-cluster pattern-count deltas for a just-applied batch (the
+  /// delta-computation half of UpdateClusterStats, shared with
+  /// ApplyShardBatch). Reads the post-batch dataset and train_mask_.
+  std::vector<std::vector<JointPatternDelta>> ComputeClusterDeltas(
+      const DatasetDelta& delta, const DynamicBitset& old_train,
+      const std::vector<TripleId>& changed_existing,
+      const SourceClustering& clustering) const;
   /// Folds exact pattern-count deltas into `model`'s per-cluster joint
   /// stats (the writer's private clone, never a published model).
   Status UpdateClusterStats(const DatasetDelta& delta,
@@ -269,6 +326,9 @@ class FusionEngine {
   Dataset* mutable_dataset_ = nullptr;  // non-null iff streaming-capable
   EngineOptions options_;
   bool prepared_ = false;
+  /// Set by AdoptParameters: this engine's model is router-managed and must
+  /// never be built from the shard-local dataset.
+  bool external_parameters_ = false;
   uint64_t dataset_version_ = 0;
   DynamicBitset train_mask_;
   std::vector<SourceQuality> quality_;

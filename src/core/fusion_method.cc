@@ -18,6 +18,7 @@ class PrecRecMethod : public FusionMethod {
  public:
   MethodKind kind() const override { return MethodKind::kPrecRec; }
   const char* id() const override { return "precrec"; }
+  bool shardable() const override { return true; }
 
   std::optional<StatusOr<MethodSpec>> TryParse(
       const std::string& name) const override {
@@ -47,6 +48,7 @@ class PrecRecCorrMethod : public FusionMethod {
   bool uses_pattern_pipeline() const override { return true; }
   bool supports_threads() const override { return true; }
   bool supports_pattern_serving() const override { return true; }
+  bool shardable() const override { return true; }
 
   StatusOr<PatternScoringPlan> MakeScoringPlan(
       const MethodContext& context, const MethodSpec& spec) const override {
@@ -81,6 +83,7 @@ class AggressiveMethod : public FusionMethod {
   MethodKind kind() const override { return MethodKind::kAggressive; }
   const char* id() const override { return "aggressive"; }
   bool needs_model() const override { return true; }
+  bool shardable() const override { return true; }
 
   std::optional<StatusOr<MethodSpec>> TryParse(
       const std::string& name) const override {
@@ -108,6 +111,7 @@ class ElasticMethod : public FusionMethod {
   bool uses_pattern_pipeline() const override { return true; }
   bool supports_threads() const override { return true; }
   bool supports_pattern_serving() const override { return true; }
+  bool shardable() const override { return true; }
 
   StatusOr<PatternScoringPlan> MakeScoringPlan(
       const MethodContext& context, const MethodSpec& spec) const override {

@@ -131,6 +131,13 @@ class FusionMethod {
   /// Implies uses_pattern_pipeline().
   virtual bool supports_pattern_serving() const { return false; }
 
+  /// Each triple's score depends only on its own observation pattern and
+  /// globally-mergeable parameters (quality / correlation model), so a
+  /// domain-partitioned run per shard stitches to the exact unsharded
+  /// scores. Iterative methods whose fixed point couples all triples
+  /// (cosine, 3-estimates, LTM) must leave this false.
+  virtual bool shardable() const { return false; }
+
   /// Decision threshold for `spec` (paper default: options.decision_threshold;
   /// union-K votes with its own percentage-derived threshold).
   virtual double DefaultThreshold(const MethodSpec& spec,

@@ -314,6 +314,52 @@ StatusOr<std::unique_ptr<EmpiricalJointStats>> EmpiricalJointStats::FromState(
   return stats;
 }
 
+StatusOr<EmpiricalJointStatsState> MergeJointStatsStates(
+    const std::vector<EmpiricalJointStatsState>& states) {
+  if (states.empty()) {
+    return Status::InvalidArgument("no joint stats states to merge");
+  }
+  EmpiricalJointStatsState merged;
+  merged.k = states[0].k;
+  merged.options = states[0].options;
+
+  struct MaskPairHash {
+    size_t operator()(const std::pair<Mask, Mask>& p) const {
+      return static_cast<size_t>(MixMaskPair(p.first, p.second));
+    }
+  };
+  using Index =
+      std::unordered_map<std::pair<Mask, Mask>, size_t, MaskPairHash>;
+  Index true_index;
+  Index false_index;
+  auto fold = [](const std::vector<EmpiricalJointStatsState::PatternCount>& in,
+                 std::vector<EmpiricalJointStatsState::PatternCount>* out,
+                 Index* index) {
+    for (const auto& p : in) {
+      auto [it, inserted] =
+          index->emplace(std::make_pair(p.providers, p.scope), out->size());
+      if (inserted) {
+        out->push_back(p);
+      } else {
+        (*out)[it->second].count += p.count;
+      }
+    }
+  };
+  for (const EmpiricalJointStatsState& state : states) {
+    if (state.k != merged.k || state.options.alpha != merged.options.alpha ||
+        state.options.smoothing != merged.options.smoothing ||
+        state.options.use_scopes != merged.options.use_scopes) {
+      return Status::InvalidArgument(
+          "joint stats states disagree on k or options");
+    }
+    merged.total_true += state.total_true;
+    merged.total_false += state.total_false;
+    fold(state.true_patterns, &merged.true_patterns, &true_index);
+    fold(state.false_patterns, &merged.false_patterns, &false_index);
+  }
+  return merged;
+}
+
 EmpiricalJointStats::Counts EmpiricalJointStats::ComputeCounts(
     Mask subset) const {
   Counts counts;

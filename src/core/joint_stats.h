@@ -185,6 +185,14 @@ struct EmpiricalJointStatsState {
   std::vector<PatternCount> false_patterns;
 };
 
+/// Merges per-partition states into one: counts of identical
+/// (providers, scope) patterns sum per class, totals sum, and the result is
+/// the state a single pass over the union of the partitions' training
+/// triples would have produced (up to pattern order, which no query
+/// depends on). All states must share k and options.
+StatusOr<EmpiricalJointStatsState> MergeJointStatsStates(
+    const std::vector<EmpiricalJointStatsState>& states);
+
 /// Joint statistics estimated from the training triples of a dataset.
 class EmpiricalJointStats : public JointStatsProvider {
  public:

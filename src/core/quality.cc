@@ -26,12 +26,6 @@ StatusOr<std::vector<SourceQuality>> EstimateSourceQuality(
   if (!dataset.finalized()) {
     return Status::FailedPrecondition("dataset not finalized");
   }
-  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
-    return Status::InvalidArgument("alpha must be in (0,1)");
-  }
-  if (options.smoothing < 0.0) {
-    return Status::InvalidArgument("smoothing must be >= 0");
-  }
   if (train_mask.size() != dataset.num_triples()) {
     return Status::InvalidArgument("train_mask size != num_triples");
   }
@@ -43,7 +37,6 @@ StatusOr<std::vector<SourceQuality>> EstimateSourceQuality(
   train_labeled.AndWith(train_mask);
 
   const size_t total_true = train_true.Count();
-  const double s = options.smoothing;
 
   std::vector<SourceQuality> result(dataset.num_sources());
   for (SourceId i = 0; i < dataset.num_sources(); ++i) {
@@ -61,7 +54,21 @@ StatusOr<std::vector<SourceQuality>> EstimateSourceQuality(
     } else {
       sq.scope_true = total_true;
     }
+  }
+  FUSER_RETURN_IF_ERROR(FinalizeQualityFromCounts(options, &result));
+  return result;
+}
 
+Status FinalizeQualityFromCounts(const QualityOptions& options,
+                                 std::vector<SourceQuality>* quality) {
+  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0,1)");
+  }
+  if (options.smoothing < 0.0) {
+    return Status::InvalidArgument("smoothing must be >= 0");
+  }
+  const double s = options.smoothing;
+  for (SourceQuality& sq : *quality) {
     sq.precision = (static_cast<double>(sq.provided_true) + s) /
                    (static_cast<double>(sq.provided_labeled) + 2.0 * s);
     sq.recall = (static_cast<double>(sq.provided_true) + s) /
@@ -86,7 +93,20 @@ StatusOr<std::vector<SourceQuality>> EstimateSourceQuality(
                                     0.0, 1.0)
                        : 0.0;
   }
-  return result;
+  return Status::OK();
+}
+
+Status MergeQualityCounts(std::vector<SourceQuality>* into,
+                          const std::vector<SourceQuality>& from) {
+  if (into->size() != from.size()) {
+    return Status::InvalidArgument("quality count vectors differ in length");
+  }
+  for (size_t i = 0; i < from.size(); ++i) {
+    (*into)[i].provided_labeled += from[i].provided_labeled;
+    (*into)[i].provided_true += from[i].provided_true;
+    (*into)[i].scope_true += from[i].scope_true;
+  }
+  return Status::OK();
 }
 
 }  // namespace fuser

@@ -63,6 +63,20 @@ StatusOr<std::vector<SourceQuality>> EstimateSourceQuality(
     const Dataset& dataset, const DynamicBitset& train_mask,
     const QualityOptions& options);
 
+/// Recomputes precision/recall/fpr from the raw counts already stored in
+/// `quality` (provided_true, provided_labeled, scope_true). This is the
+/// arithmetic half of EstimateSourceQuality, exposed so per-partition
+/// counts can be summed across shards and finalized with the exact same
+/// formulas as the unsharded estimator.
+Status FinalizeQualityFromCounts(const QualityOptions& options,
+                                 std::vector<SourceQuality>* quality);
+
+/// Adds `from`'s raw counts into `into` element-wise. Both vectors must be
+/// the same length; derived rates are left stale (call
+/// FinalizeQualityFromCounts after the last merge).
+Status MergeQualityCounts(std::vector<SourceQuality>* into,
+                          const std::vector<SourceQuality>& from);
+
 }  // namespace fuser
 
 #endif  // FUSER_CORE_QUALITY_H_

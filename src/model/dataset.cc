@@ -49,15 +49,17 @@ void Dataset::SetLabel(TripleId triple, bool is_true) {
   labels_[triple] = is_true ? Label::kTrue : Label::kFalse;
 }
 
-Status Dataset::Finalize() {
+Status Dataset::Finalize(bool allow_empty) {
   if (finalized_) {
     return Status::FailedPrecondition("Finalize called twice");
   }
-  if (source_names_.empty()) {
-    return Status::InvalidArgument("dataset has no sources");
-  }
-  if (dict_.size() == 0) {
-    return Status::InvalidArgument("dataset has no triples");
+  if (!allow_empty) {
+    if (source_names_.empty()) {
+      return Status::InvalidArgument("dataset has no sources");
+    }
+    if (dict_.size() == 0) {
+      return Status::InvalidArgument("dataset has no triples");
+    }
   }
   const size_t m = dict_.size();
   const size_t n = source_names_.size();
@@ -121,6 +123,18 @@ Status Dataset::ApplyBatch(const ObservationBatch& batch,
   delta->old_num_triples = dict_.size();
   delta->old_num_sources = source_names_.size();
   delta->old_num_domains = domain_names_.size();
+
+  // Pass 0: pre-registered sources (sharded routing aligns shard-local
+  // SourceIds with global ones by broadcasting new names in global order).
+  for (const std::string& name : batch.register_sources) {
+    if (source_index_.find(name) != source_index_.end()) continue;
+    SourceId s = static_cast<SourceId>(source_names_.size());
+    source_names_.push_back(name);
+    source_index_.emplace(name, s);
+    outputs_.emplace_back();  // resized to full width below
+    source_covers_domain_.emplace_back();
+    delta->new_sources.push_back(s);
+  }
 
   // Pass 1: intern sources, domains, and triples; collect the provide list.
   std::vector<std::pair<SourceId, TripleId>> provides;

@@ -48,10 +48,18 @@ struct LabelUpdate {
 /// A micro-batch of streamed observations and labels, applied atomically by
 /// Dataset::ApplyBatch after Finalize.
 struct ObservationBatch {
+  /// Sources to intern (in order) before any observation is processed.
+  /// ApplyBatch normally creates sources lazily at their first observation;
+  /// a sharded router instead pre-registers every new source of the batch
+  /// in every shard so shard-local SourceIds stay equal to global ones.
+  /// Names already present are skipped.
+  std::vector<std::string> register_sources;
   std::vector<Observation> observations;
   std::vector<LabelUpdate> labels;
 
-  bool empty() const { return observations.empty() && labels.empty(); }
+  bool empty() const {
+    return register_sources.empty() && observations.empty() && labels.empty();
+  }
 };
 
 /// Structural delta produced by ApplyBatch: exactly what changed, in terms
@@ -109,8 +117,12 @@ class Dataset {
 
   /// Builds the derived indexes (provider lists, scope tables, gold
   /// bitsets). Must be called once; afterwards the dataset only changes
-  /// through ApplyBatch.
-  Status Finalize();
+  /// through ApplyBatch. `allow_empty` relaxes the no-sources/no-triples
+  /// errors for shard datasets whose partition happens to be empty (all
+  /// derived structures finalize to zero width and ApplyBatch may fill
+  /// them later).
+  Status Finalize() { return Finalize(/*allow_empty=*/false); }
+  Status Finalize(bool allow_empty);
 
   bool finalized() const { return finalized_; }
 

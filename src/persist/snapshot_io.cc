@@ -344,7 +344,10 @@ StatusOr<std::unique_ptr<Dataset>> DecodeDatasetSection(
     });
   }
   FUSER_RETURN_IF_ERROR(ExpectExhausted(src, "dataset"));
-  FUSER_RETURN_IF_ERROR(dataset->Finalize());
+  // Empty datasets are legitimate here: a sharded save writes one snapshot
+  // per shard, and a shard may own zero triples. Emptiness was validated
+  // (or deliberately allowed) when the saved dataset was finalized.
+  FUSER_RETURN_IF_ERROR(dataset->Finalize(/*allow_empty=*/true));
   FUSER_RETURN_IF_ERROR(dataset->RestoreVersion(version));
   return dataset;
 }

@@ -1,0 +1,549 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "core/clustering.h"
+#include "core/correlation.h"
+#include "core/joint_stats.h"
+#include "core/quality.h"
+#include "persist/snapshot_io.h"
+#include "shard/sharded_persist.h"
+
+namespace fuser {
+
+namespace {
+const std::vector<TripleId> kNoChangedExisting;
+}  // namespace
+
+ShardedFusionEngine::ShardedFusionEngine(ShardedCorpus corpus,
+                                         const EngineOptions& options)
+    : corpus_(std::move(corpus)), options_(options) {
+  const size_t num_shards = corpus_.num_shards();
+  const size_t budget = ResolveNumThreads(options_.num_threads);
+  EngineOptions shard_options = options_;
+  shard_options.num_threads = std::max<size_t>(1, budget / num_shards);
+  engines_.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    engines_.push_back(
+        std::make_unique<FusionEngine>(corpus_.mutable_shard(k), shard_options));
+  }
+  router_threads_ = std::min(num_shards, budget);
+  if (router_threads_ > 1) {
+    router_pool_ = std::make_unique<ThreadPool>(router_threads_);
+  }
+  shard_quality_.resize(num_shards);
+}
+
+StatusOr<std::unique_ptr<ShardedFusionEngine>> ShardedFusionEngine::Create(
+    ShardedCorpus corpus, const EngineOptions& options) {
+  if (corpus.num_shards() == 0) {
+    return Status::InvalidArgument("sharded corpus has no shards");
+  }
+  for (size_t k = 0; k < corpus.num_shards(); ++k) {
+    if (!corpus.shard(k).finalized()) {
+      return Status::FailedPrecondition(
+          "sharded corpus must be finalized before engine creation");
+    }
+  }
+  return std::unique_ptr<ShardedFusionEngine>(
+      new ShardedFusionEngine(std::move(corpus), options));
+}
+
+StatusOr<std::unique_ptr<ShardedFusionEngine>> ShardedFusionEngine::Create(
+    const Dataset& full, const ShardingOptions& sharding,
+    const EngineOptions& options) {
+  FUSER_ASSIGN_OR_RETURN(ShardedCorpus corpus,
+                         ShardedCorpus::Partition(full, sharding));
+  return Create(std::move(corpus), options);
+}
+
+void ShardedFusionEngine::ForEachShard(const std::function<void(size_t)>& fn) {
+  const size_t num_shards = engines_.size();
+  if (router_pool_ == nullptr || num_shards <= 1) {
+    for (size_t k = 0; k < num_shards; ++k) fn(k);
+    return;
+  }
+  ParallelForOptions options;
+  options.pool = router_pool_.get();
+  ParallelFor(num_shards, router_threads_, fn, options);
+}
+
+Status ShardedFusionEngine::MergeQuality() {
+  std::vector<SourceQuality> merged = shard_quality_[0];
+  for (size_t k = 1; k < shard_quality_.size(); ++k) {
+    FUSER_RETURN_IF_ERROR(MergeQualityCounts(&merged, shard_quality_[k]));
+  }
+  FUSER_RETURN_IF_ERROR(
+      FinalizeQualityFromCounts(options_.model.ToQualityOptions(), &merged));
+  quality_ = std::move(merged);
+  return Status::OK();
+}
+
+Status ShardedFusionEngine::Prepare(const DynamicBitset& train_mask) {
+  if (train_mask.size() != corpus_.num_triples()) {
+    return Status::InvalidArgument(
+        "train mask size does not match the corpus");
+  }
+  const size_t num_shards = engines_.size();
+  std::vector<DynamicBitset> shard_masks;
+  shard_masks.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    shard_masks.emplace_back(corpus_.shard(k).num_triples());
+  }
+  train_mask.ForEach([&](size_t global) {
+    const ShardLocation loc = corpus_.Locate(static_cast<TripleId>(global));
+    shard_masks[loc.shard].Set(loc.local);
+  });
+
+  std::vector<Status> statuses(num_shards);
+  ForEachShard(
+      [&](size_t k) { statuses[k] = engines_[k]->Prepare(shard_masks[k]); });
+  for (const Status& s : statuses) FUSER_RETURN_IF_ERROR(s);
+
+  for (size_t k = 0; k < num_shards; ++k) {
+    shard_quality_[k] = engines_[k]->source_quality();
+  }
+  FUSER_RETURN_IF_ERROR(MergeQuality());
+  model_ = nullptr;
+  for (size_t k = 0; k < num_shards; ++k) {
+    FUSER_RETURN_IF_ERROR(
+        engines_[k]->AdoptParameters(quality_, nullptr, kNoChangedExisting));
+  }
+  train_mask_ = train_mask;
+  prepared_ = true;
+  PublishCurrent();
+  return Status::OK();
+}
+
+Status ShardedFusionEngine::Update(const ObservationBatch& batch) {
+  if (!prepared_) {
+    return Status::FailedPrecondition("call Prepare before Update");
+  }
+  FUSER_ASSIGN_OR_RETURN(RoutedBatch routed, corpus_.RouteBatch(batch));
+  const size_t num_shards = engines_.size();
+
+  // New sources are not covered by the current clustering, so pattern
+  // deltas against it would be meaningless (and their provider masks
+  // unrepresentable) — the model is invalidated below anyway.
+  const CorrelationModel* delta_model =
+      routed.new_sources.empty() ? model_.get() : nullptr;
+
+  std::vector<ShardUpdateResult> results(num_shards);
+  std::vector<Status> statuses(num_shards);
+  std::vector<char> applied(num_shards, 0);
+  ForEachShard([&](size_t k) {
+    if (!routed.dirty[k]) return;
+    StatusOr<ShardUpdateResult> result =
+        engines_[k]->ApplyShardBatch(routed.per_shard[k], delta_model);
+    if (!result.ok()) {
+      statuses[k] = result.status();
+      return;
+    }
+    results[k] = std::move(result).value();
+    applied[k] = 1;
+  });
+  for (const Status& s : statuses) FUSER_RETURN_IF_ERROR(s);
+
+  std::vector<const DatasetDelta*> deltas(num_shards, nullptr);
+  for (size_t k = 0; k < num_shards; ++k) {
+    if (applied[k]) deltas[k] = &results[k].delta;
+  }
+  FUSER_RETURN_IF_ERROR(corpus_.CommitRoute(routed, deltas));
+  ++updates_applied_;
+
+  // Extend the global training mask exactly as the shards extended theirs.
+  train_mask_.Resize(corpus_.num_triples());
+  bool training_changed = false;
+  for (size_t k = 0; k < num_shards; ++k) {
+    if (!applied[k]) continue;
+    training_changed |= results[k].training_changed;
+    for (const auto& change : results[k].delta.label_changes) {
+      if (change.second == Label::kUnknown) {
+        train_mask_.Set(corpus_.GlobalOf(k, change.first));
+      }
+    }
+    shard_quality_[k] = std::move(results[k].shard_quality);
+  }
+  FUSER_RETURN_IF_ERROR(MergeQuality());
+
+  // Adopts the merged quality with no model into every shard; the model is
+  // rebuilt lazily by the next caller that needs it.
+  auto adopt_no_model = [&]() -> Status {
+    model_ = nullptr;
+    for (size_t k = 0; k < num_shards; ++k) {
+      FUSER_RETURN_IF_ERROR(
+          engines_[k]->AdoptParameters(quality_, nullptr, kNoChangedExisting));
+    }
+    return Status::OK();
+  };
+
+  if (model_ == nullptr) {
+    FUSER_RETURN_IF_ERROR(adopt_no_model());
+    PublishCurrent();
+    return Status::OK();
+  }
+
+  // Same invalidation conditions as FusionEngine::Update: the cluster
+  // partition can change with new sources, and with clustering enabled any
+  // training change can re-cluster.
+  if (!routed.new_sources.empty() ||
+      (options_.model.enable_clustering && training_changed)) {
+    ++full_invalidations_;
+    FUSER_RETURN_IF_ERROR(adopt_no_model());
+    PublishCurrent();
+    return Status::OK();
+  }
+
+  // Incremental path: clone the global model once, fold every dirty
+  // shard's exact pattern-count deltas into the clone, adopt everywhere.
+  StatusOr<CorrelationModel> cloned = CloneCorrelationModel(*model_);
+  if (!cloned.ok()) {
+    if (cloned.status().code() == StatusCode::kUnimplemented) {
+      ++full_invalidations_;
+      FUSER_RETURN_IF_ERROR(adopt_no_model());
+      PublishCurrent();
+      return Status::OK();
+    }
+    FUSER_RETURN_IF_ERROR(adopt_no_model());
+    PublishCurrent();
+    return cloned.status();
+  }
+  auto next = std::make_shared<CorrelationModel>(std::move(cloned).value());
+  next->source_quality = quality_;
+  Status stats_status = Status::OK();
+  for (size_t k = 0; k < num_shards && stats_status.ok(); ++k) {
+    if (!applied[k]) continue;
+    const auto& cluster_deltas = results[k].cluster_deltas;
+    for (size_t c = 0; c < cluster_deltas.size() && stats_status.ok(); ++c) {
+      if (cluster_deltas[c].empty()) continue;
+      stats_status = next->cluster_stats[c]->ApplyPatternDeltas(cluster_deltas[c]);
+    }
+  }
+  if (!stats_status.ok()) {
+    if (stats_status.code() == StatusCode::kUnimplemented) {
+      ++full_invalidations_;
+      FUSER_RETURN_IF_ERROR(adopt_no_model());
+      PublishCurrent();
+      return Status::OK();
+    }
+    FUSER_RETURN_IF_ERROR(adopt_no_model());
+    PublishCurrent();
+    return stats_status;
+  }
+  model_ = std::move(next);
+  for (size_t k = 0; k < num_shards; ++k) {
+    FUSER_RETURN_IF_ERROR(engines_[k]->AdoptParameters(
+        quality_, model_,
+        applied[k] ? results[k].changed_existing : kNoChangedExisting));
+  }
+  PublishCurrent();
+  return Status::OK();
+}
+
+Status ShardedFusionEngine::EnsureGlobalModel() {
+  if (model_ != nullptr) return Status::OK();
+  const ModelOptions& mo = options_.model;
+  const size_t num_sources = corpus_.num_sources();
+  const size_t num_shards = engines_.size();
+
+  SourceClustering clustering;
+  if (!mo.enable_clustering) {
+    FUSER_ASSIGN_OR_RETURN(clustering, SingleClusterOf(num_sources));
+  } else if (mo.clustering.use_sketch) {
+    return Status::Unimplemented(
+        "sketch-based clustering is not supported with sharding (merged "
+        "exact pairwise counts are required for byte-identical clusters)");
+  } else {
+    std::vector<SourceId> sources(num_sources);
+    std::iota(sources.begin(), sources.end(), SourceId{0});
+    PairwiseCounts merged;
+    for (size_t k = 0; k < num_shards; ++k) {
+      FUSER_ASSIGN_OR_RETURN(
+          PairwiseCounts counts,
+          ComputePairwiseCounts(corpus_.shard(k), engines_[k]->train_mask(),
+                                sources));
+      if (k == 0) {
+        merged = std::move(counts);
+      } else {
+        FUSER_RETURN_IF_ERROR(MergePairwiseCounts(&merged, counts));
+      }
+    }
+    FUSER_ASSIGN_OR_RETURN(
+        std::vector<PairwiseCorrelation> pairs,
+        PairwiseCorrelationsFromCounts(merged, mo.ToJointStatsOptions()));
+    FUSER_ASSIGN_OR_RETURN(
+        clustering, ClusterSourcesFromPairs(num_sources, pairs, mo.clustering));
+  }
+
+  CorrelationModel model;
+  model.source_quality = quality_;
+  model.clustering = std::move(clustering);
+  model.alpha = mo.alpha;
+  model.use_scopes = mo.use_scopes;
+  model.cluster_stats.reserve(model.clustering.clusters.size());
+  for (const std::vector<SourceId>& cluster : model.clustering.clusters) {
+    std::vector<EmpiricalJointStatsState> states;
+    states.reserve(num_shards);
+    for (size_t k = 0; k < num_shards; ++k) {
+      FUSER_ASSIGN_OR_RETURN(
+          std::unique_ptr<EmpiricalJointStats> stats,
+          EmpiricalJointStats::Create(corpus_.shard(k),
+                                      engines_[k]->train_mask(), cluster,
+                                      mo.ToJointStatsOptions()));
+      states.push_back(stats->ExportState());
+    }
+    FUSER_ASSIGN_OR_RETURN(EmpiricalJointStatsState merged_state,
+                           MergeJointStatsStates(states));
+    FUSER_ASSIGN_OR_RETURN(std::unique_ptr<EmpiricalJointStats> provider,
+                           EmpiricalJointStats::FromState(merged_state));
+    model.cluster_stats.push_back(std::move(provider));
+  }
+
+  model_ = std::make_shared<const CorrelationModel>(std::move(model));
+  for (size_t k = 0; k < num_shards; ++k) {
+    FUSER_RETURN_IF_ERROR(
+        engines_[k]->AdoptParameters(quality_, model_, kNoChangedExisting));
+  }
+  PublishCurrent();
+  return Status::OK();
+}
+
+Status ShardedFusionEngine::CheckSpecs(const std::vector<MethodSpec>& specs,
+                                       bool* needs_model) const {
+  *needs_model = false;
+  for (const MethodSpec& spec : specs) {
+    const FusionMethod* method = MethodRegistry::Global().Find(spec.kind);
+    if (method == nullptr) {
+      return Status::Unimplemented("method kind is not registered: " +
+                                   spec.Name());
+    }
+    if (!method->shardable()) {
+      return Status::Unimplemented(
+          "method '" + std::string(method->id()) +
+          "' couples triples across the corpus and cannot run sharded");
+    }
+    if (method->needs_model() || method->uses_pattern_pipeline()) {
+      *needs_model = true;
+    }
+  }
+  if (*needs_model && options_.model.enable_clustering &&
+      options_.model.clustering.use_sketch) {
+    return Status::Unimplemented(
+        "sketch-based clustering is not supported with sharding (merged "
+        "exact pairwise counts are required for byte-identical clusters)");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<FusionRun>> ShardedFusionEngine::RunAll(
+    const std::vector<MethodSpec>& specs) {
+  if (!prepared_) {
+    return Status::FailedPrecondition("call Prepare before Run");
+  }
+  bool needs_model = false;
+  FUSER_RETURN_IF_ERROR(CheckSpecs(specs, &needs_model));
+  if (needs_model) {
+    FUSER_RETURN_IF_ERROR(EnsureGlobalModel());
+  }
+
+  const size_t num_shards = engines_.size();
+  std::vector<std::vector<FusionRun>> shard_runs(num_shards);
+  std::vector<Status> statuses(num_shards);
+  ForEachShard([&](size_t k) {
+    StatusOr<std::vector<FusionRun>> runs = engines_[k]->RunAll(specs);
+    if (!runs.ok()) {
+      statuses[k] = runs.status();
+      return;
+    }
+    shard_runs[k] = std::move(runs).value();
+  });
+  for (const Status& s : statuses) FUSER_RETURN_IF_ERROR(s);
+
+  const size_t num_triples = corpus_.num_triples();
+  std::vector<FusionRun> runs(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    FusionRun& run = runs[i];
+    run.spec = specs[i];
+    run.threshold = shard_runs[0][i].threshold;
+    run.dataset_version = 0;  // stitched run: no single dataset version
+    run.scores.resize(num_triples);
+    double seconds = 0.0;
+    for (size_t k = 0; k < num_shards; ++k) {
+      seconds += shard_runs[k][i].seconds;
+    }
+    run.seconds = seconds;
+  }
+  for (size_t g = 0; g < num_triples; ++g) {
+    const ShardLocation loc = corpus_.Locate(static_cast<TripleId>(g));
+    for (size_t i = 0; i < specs.size(); ++i) {
+      runs[i].scores[g] = shard_runs[loc.shard][i].scores[loc.local];
+    }
+  }
+  return runs;
+}
+
+StatusOr<FusionRun> ShardedFusionEngine::Run(const MethodSpec& spec) {
+  FUSER_ASSIGN_OR_RETURN(std::vector<FusionRun> runs, RunAll({spec}));
+  return std::move(runs.front());
+}
+
+StatusOr<std::shared_ptr<const ShardedSnapshot>>
+ShardedFusionEngine::PublishSnapshot(const std::vector<MethodSpec>& specs) {
+  if (!prepared_) {
+    return Status::FailedPrecondition("call Prepare before PublishSnapshot");
+  }
+  bool needs_model = false;
+  FUSER_RETURN_IF_ERROR(CheckSpecs(specs, &needs_model));
+  if (needs_model) {
+    FUSER_RETURN_IF_ERROR(EnsureGlobalModel());
+  }
+
+  const size_t num_shards = engines_.size();
+  std::vector<std::shared_ptr<const FusionSnapshot>> shards(num_shards);
+  std::vector<Status> statuses(num_shards);
+  ForEachShard([&](size_t k) {
+    StatusOr<std::shared_ptr<const FusionSnapshot>> snapshot =
+        engines_[k]->PublishSnapshot(specs);
+    if (!snapshot.ok()) {
+      statuses[k] = snapshot.status();
+      return;
+    }
+    shards[k] = std::move(snapshot).value();
+  });
+  for (const Status& s : statuses) FUSER_RETURN_IF_ERROR(s);
+  return StoreSnapshot(std::move(shards), /*servable=*/!specs.empty());
+}
+
+std::shared_ptr<const ShardedSnapshot> ShardedFusionEngine::StoreSnapshot(
+    std::vector<std::shared_ptr<const FusionSnapshot>> shards, bool servable) {
+  auto snapshot = std::make_shared<ShardedSnapshot>();
+  snapshot->num_triples = corpus_.num_triples();
+  snapshot->num_sources = corpus_.num_sources();
+  snapshot->map = corpus_.SnapshotMap();
+  snapshot->shards = std::move(shards);
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot->id = ++snapshots_published_;
+  snapshot_ = snapshot;
+  if (servable) serving_snapshot_ = snapshot;
+  return snapshot;
+}
+
+void ShardedFusionEngine::PublishCurrent() {
+  std::vector<std::shared_ptr<const FusionSnapshot>> shards;
+  shards.reserve(engines_.size());
+  for (const auto& engine : engines_) {
+    shards.push_back(engine->CurrentSnapshot());
+  }
+  StoreSnapshot(std::move(shards), /*servable=*/false);
+}
+
+std::shared_ptr<const ShardedSnapshot> ShardedFusionEngine::CurrentSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+std::shared_ptr<const ShardedSnapshot>
+ShardedFusionEngine::CurrentServableSnapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return serving_snapshot_;
+}
+
+Status ShardedFusionEngine::SaveSnapshot(const std::string& path) const {
+  for (size_t k = 0; k < engines_.size(); ++k) {
+    FUSER_RETURN_IF_ERROR(engines_[k]->SaveSnapshot(ShardSnapshotPath(path, k)));
+  }
+  ShardManifest manifest;
+  manifest.snapshot_format_version = kSnapshotFormatVersion;
+  manifest.sharding = corpus_.options();
+  manifest.num_triples = corpus_.num_triples();
+  manifest.num_sources = corpus_.num_sources();
+  manifest.local_to_global = corpus_.LocalToGlobal();
+  return WriteShardManifest(path, manifest);
+}
+
+StatusOr<std::unique_ptr<ShardedFusionEngine>> ShardedFusionEngine::WarmStart(
+    const std::string& path, const EngineOptions& options) {
+  FUSER_ASSIGN_OR_RETURN(ShardManifest manifest, ReadShardManifest(path));
+  const size_t num_shards = manifest.sharding.num_shards;
+
+  std::vector<LoadedSnapshot> loaded;
+  loaded.reserve(num_shards);
+  std::vector<std::unique_ptr<Dataset>> datasets;
+  datasets.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    FUSER_ASSIGN_OR_RETURN(LoadedSnapshot shard,
+                           LoadSnapshot(ShardSnapshotPath(path, k)));
+    // The corpus owns the dataset; the shard engine's WarmStart skips its
+    // pointer-identity check for a moved-out dataset (the object itself is
+    // unmoved, so the snapshot's internal pointers stay valid).
+    datasets.push_back(std::move(shard.dataset));
+    loaded.push_back(std::move(shard));
+  }
+
+  FUSER_ASSIGN_OR_RETURN(
+      ShardedCorpus corpus,
+      ShardedCorpus::FromShards(std::move(datasets), manifest.local_to_global,
+                                manifest.sharding));
+  if (corpus.num_triples() != manifest.num_triples ||
+      corpus.num_sources() != manifest.num_sources) {
+    return Status::InvalidArgument(
+        "shard manifest totals do not match the shard snapshots: " + path);
+  }
+
+  std::unique_ptr<ShardedFusionEngine> engine(
+      new ShardedFusionEngine(std::move(corpus), options));
+  for (size_t k = 0; k < num_shards; ++k) {
+    FUSER_RETURN_IF_ERROR(engine->engines_[k]->WarmStart(loaded[k]));
+  }
+
+  // The saved options govern all estimation; the thread budget stays the
+  // caller's (per-shard budgets were already applied at construction).
+  engine->options_ = engine->engines_[0]->options();
+  engine->options_.num_threads = options.num_threads;
+
+  engine->train_mask_ = DynamicBitset(engine->corpus_.num_triples());
+  for (size_t k = 0; k < num_shards; ++k) {
+    const size_t shard = k;
+    engine->engines_[k]->train_mask().ForEach([&](size_t local) {
+      engine->train_mask_.Set(engine->corpus_.GlobalOf(
+          shard, static_cast<TripleId>(local)));
+    });
+    FUSER_ASSIGN_OR_RETURN(
+        engine->shard_quality_[k],
+        EstimateSourceQuality(engine->corpus_.shard(k),
+                              engine->engines_[k]->train_mask(),
+                              engine->options_.model.ToQualityOptions()));
+  }
+  FUSER_RETURN_IF_ERROR(engine->MergeQuality());
+
+  // Every shard saved the same adopted global parameters; shard 0's model
+  // object becomes the router's (values are identical across shards).
+  engine->model_ = engine->engines_[0]->CurrentSnapshot()->model;
+  engine->prepared_ = true;
+
+  std::vector<std::shared_ptr<const FusionSnapshot>> current;
+  std::vector<std::shared_ptr<const FusionSnapshot>> servable;
+  current.reserve(num_shards);
+  servable.reserve(num_shards);
+  bool all_servable = true;
+  for (size_t k = 0; k < num_shards; ++k) {
+    current.push_back(engine->engines_[k]->CurrentSnapshot());
+    auto shard_servable = engine->engines_[k]->CurrentServableSnapshot();
+    if (shard_servable == nullptr) {
+      all_servable = false;
+    } else {
+      servable.push_back(std::move(shard_servable));
+    }
+  }
+  if (all_servable) {
+    engine->StoreSnapshot(std::move(servable), /*servable=*/true);
+  } else {
+    engine->StoreSnapshot(std::move(current), /*servable=*/false);
+  }
+  return engine;
+}
+
+}  // namespace fuser

@@ -109,7 +109,8 @@ SyntheticConfig MakeManySourcesConfig(size_t num_sources, size_t num_triples,
   return config;
 }
 
-StatusOr<Dataset> GenerateSynthetic(const SyntheticConfig& config) {
+Status GenerateSyntheticStream(const SyntheticConfig& config,
+                               const SyntheticSink& sink) {
   const size_t n = config.sources.size();
   if (n == 0) {
     return Status::InvalidArgument("no sources configured");
@@ -184,18 +185,28 @@ StatusOr<Dataset> GenerateSynthetic(const SyntheticConfig& config) {
     false_plan.partition.push_back(sp.false_partition);
   }
 
-  Dataset dataset;
-  for (size_t s = 0; s < n; ++s) {
-    dataset.AddSource(config.sources[s].name.empty()
-                          ? StrFormat("source-%zu", s)
-                          : config.sources[s].name);
+  Rng rng(config.seed);
+
+  // Interned domain-name table: one string per entity domain instead of a
+  // fresh StrFormat allocation per triple (a large-N hot spot).
+  static const std::string kNoDomain;
+  std::vector<std::string> entity_domains;
+  if (!config.assign_domains_by_partition && config.num_domains > 0) {
+    entity_domains.reserve(config.num_domains);
+    for (size_t d = 0; d < config.num_domains; ++d) {
+      entity_domains.push_back(StrFormat("dom%zu", d));
+    }
   }
 
-  Rng rng(config.seed);
-  // Observation matrix accumulated sparsely: provided[s] lists TripleIds.
-  std::vector<std::vector<TripleId>> provided(n);
+  // Reused per-triple buffers; the sink only sees pointers into them.
+  std::vector<SourceId> providers;
+  providers.reserve(n);
+  std::vector<bool> coin;
+  SyntheticTriple record;
+  record.triple.predicate = "attr";
+  record.providers = &providers;
 
-  auto generate_class = [&](const ClassPlan& plan, bool is_true) {
+  auto generate_class = [&](const ClassPlan& plan, bool is_true) -> Status {
     // Group latent parameters per member: lambda (group coin rate) and the
     // conditional rates (a, b) preserving the member's marginal.
     struct MemberLatent {
@@ -227,16 +238,27 @@ StatusOr<Dataset> GenerateSynthetic(const SyntheticConfig& config) {
       }
     }
 
+    // Per-partition domain names for this class (interned once).
+    std::vector<std::string> partition_domains;
+    if (config.assign_domains_by_partition) {
+      const size_t num_partitions =
+          std::max<size_t>(1, plan.fractions.size());
+      partition_domains.reserve(num_partitions);
+      for (size_t k = 0; k < num_partitions; ++k) {
+        partition_domains.push_back(StrFormat("part%zu", k));
+      }
+    }
+
+    coin.assign(plan.groups->size(), false);
     for (size_t i = 0; i < plan.universe; ++i) {
       const int triple_partition =
           PartitionOfIndex(i, plan.universe, plan.fractions);
       const bool labeled = i < plan.labeled;
       // Group coins for this triple.
-      std::vector<bool> coin(plan.groups->size());
       for (size_t g = 0; g < plan.groups->size(); ++g) {
         coin[g] = rng.NextBernoulli(group_lambda[g]);
       }
-      std::vector<size_t> provider_list;
+      providers.clear();
       for (size_t s = 0; s < n; ++s) {
         int sp_partition = plan.partition[s];
         if (sp_partition >= 0 && sp_partition != triple_partition) {
@@ -254,38 +276,53 @@ StatusOr<Dataset> GenerateSynthetic(const SyntheticConfig& config) {
           rate *= config.sources[s].gold_activity;
         }
         if (rng.NextBernoulli(rate)) {
-          provider_list.push_back(s);
+          providers.push_back(static_cast<SourceId>(s));
         }
       }
-      if (provider_list.empty()) {
+      if (providers.empty()) {
         continue;  // unobserved triples do not exist in the dataset
       }
-      std::string subject = StrFormat("e%s%zu", is_true ? "t" : "f", i);
-      std::string domain;
+      record.triple.subject = StrFormat("e%s%zu", is_true ? "t" : "f", i);
+      record.triple.object = StrFormat("v%zu", i);
       if (config.assign_domains_by_partition) {
-        domain = StrFormat("part%d", triple_partition);
+        record.domain =
+            &partition_domains[static_cast<size_t>(triple_partition)];
       } else if (config.num_domains > 0) {
-        domain = StrFormat("dom%zu", i % config.num_domains);
+        record.domain = &entity_domains[i % config.num_domains];
+      } else {
+        record.domain = &kNoDomain;
       }
-      TripleId t = dataset.AddTriple(
-          {subject, "attr", StrFormat("v%zu", i)}, domain);
-      if (labeled) {
-        dataset.SetLabel(t, is_true);
-      }
-      for (size_t s : provider_list) {
-        provided[s].push_back(t);
-      }
+      record.labeled = labeled;
+      record.is_true = is_true;
+      FUSER_RETURN_IF_ERROR(sink(record));
     }
+    return Status::OK();
   };
 
-  generate_class(true_plan, /*is_true=*/true);
-  generate_class(false_plan, /*is_true=*/false);
+  FUSER_RETURN_IF_ERROR(generate_class(true_plan, /*is_true=*/true));
+  return generate_class(false_plan, /*is_true=*/false);
+}
 
+StatusOr<Dataset> GenerateSynthetic(const SyntheticConfig& config) {
+  Dataset dataset;
+  const size_t n = config.sources.size();
   for (size_t s = 0; s < n; ++s) {
-    for (TripleId t : provided[s]) {
-      dataset.Provide(static_cast<SourceId>(s), t);
-    }
+    dataset.AddSource(config.sources[s].name.empty()
+                          ? StrFormat("source-%zu", s)
+                          : config.sources[s].name);
   }
+  FUSER_RETURN_IF_ERROR(GenerateSyntheticStream(
+      config, [&](const SyntheticTriple& synthetic) -> Status {
+        const TripleId t =
+            dataset.AddTriple(synthetic.triple, *synthetic.domain);
+        if (synthetic.labeled) {
+          dataset.SetLabel(t, synthetic.is_true);
+        }
+        for (SourceId s : *synthetic.providers) {
+          dataset.Provide(s, t);
+        }
+        return Status::OK();
+      }));
   FUSER_RETURN_IF_ERROR(dataset.Finalize());
   return dataset;
 }

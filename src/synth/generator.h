@@ -25,6 +25,7 @@
 #define FUSER_SYNTH_GENERATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -92,6 +93,33 @@ SyntheticConfig MakeIndependentConfig(size_t num_sources, size_t num_triples,
 /// false class — so discovery has planted signal to find at every scale.
 SyntheticConfig MakeManySourcesConfig(size_t num_sources, size_t num_triples,
                                       uint64_t seed);
+
+/// One generated observed triple, handed to a streaming sink. The pointers
+/// refer to buffers owned by the generator and are only valid during the
+/// sink call — copy what you keep.
+struct SyntheticTriple {
+  Triple triple;
+  /// Interned domain name ("" = the single global domain); one table entry
+  /// per domain, not a fresh string per triple.
+  const std::string* domain = nullptr;
+  bool labeled = false;
+  bool is_true = false;
+  /// Providing sources, ascending; never empty (unobserved triples are
+  /// skipped before the sink sees them).
+  const std::vector<SourceId>* providers = nullptr;
+};
+
+using SyntheticSink = std::function<Status(const SyntheticTriple&)>;
+
+/// Streaming form of GenerateSynthetic: emits each observed triple to
+/// `sink` in generation order (true universe then false universe) without
+/// materializing any per-corpus vectors, so 10-100M-triple corpora generate
+/// in O(sources) memory. Draws the exact same random sequence as
+/// GenerateSynthetic: building a dataset from the emitted stream reproduces
+/// GenerateSynthetic(config) triple for triple. A sink error aborts
+/// generation and is returned as-is.
+Status GenerateSyntheticStream(const SyntheticConfig& config,
+                               const SyntheticSink& sink);
 
 /// Generates a finalized dataset from `config`.
 StatusOr<Dataset> GenerateSynthetic(const SyntheticConfig& config);
