@@ -28,8 +28,8 @@ namespace {
 void PrintPairs(const Dataset& dataset,
                 const std::vector<PairwiseCorrelation>& pairs, bool on_true) {
   for (const PairwiseCorrelation& pc : pairs) {
-    std::printf("(%s,%s C=%.2f) ", dataset.source_name(pc.a).c_str(),
-                dataset.source_name(pc.b).c_str(),
+    std::printf("(%s,%s C=%.2f) ", std::string(dataset.source_name(pc.a)).c_str(),
+                std::string(dataset.source_name(pc.b)).c_str(),
                 on_true ? pc.factors.on_true : pc.factors.on_false);
   }
   std::printf("\n");

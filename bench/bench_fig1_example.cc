@@ -26,7 +26,7 @@ void PrintFigure1b() {
   std::printf("%-6s %9s %9s %9s\n", "source", "precision", "recall",
               "fpr(q)");
   for (SourceId s = 0; s < dataset.num_sources(); ++s) {
-    std::printf("%-6s %9.2f %9.2f %9.2f\n", dataset.source_name(s).c_str(),
+    std::printf("%-6s %9.2f %9.2f %9.2f\n", std::string(dataset.source_name(s)).c_str(),
                 (*quality)[s].precision, (*quality)[s].recall,
                 (*quality)[s].fpr);
   }

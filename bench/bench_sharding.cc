@@ -62,7 +62,7 @@ int Main(int argc, char** argv) {
   const ShardingOptions bucket_options{/*num_shards=*/8};
   std::vector<std::vector<TripleId>> buckets(8);
   for (TripleId t = prefix; t < total; ++t) {
-    const std::string& domain = final.domain_name(final.domain(t));
+    const std::string_view domain = final.domain_name(final.domain(t));
     buckets[ShardOfDomain(domain, bucket_options)].push_back(t);
   }
   std::vector<ObservationBatch> batches;
@@ -77,10 +77,10 @@ int Main(int argc, char** argv) {
       ObservationBatch batch;
       for (size_t i = lo; i < hi; ++i) {
         const TripleId t = bucket[i];
-        const std::string& domain = final.domain_name(final.domain(t));
+        const std::string domain(final.domain_name(final.domain(t)));
         for (SourceId s : final.providers(t)) {
-          batch.observations.push_back({final.source_name(s), final.triple(t),
-                                        domain});
+          batch.observations.push_back({std::string(final.source_name(s)),
+                                        final.triple(t), domain});
           ++observations_streamed;
         }
         if (final.label(t) != Label::kUnknown) {

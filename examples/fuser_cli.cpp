@@ -96,6 +96,14 @@ void Usage(const char* argv0, std::FILE* out) {
       "                      from a bottom-K correlation sketch (default\n"
       "                      K=2048) and re-score the significant pairs with\n"
       "                      the exact oracle\n"
+      "  --stats             print a JSON memory/layout report of the\n"
+      "                      materialized dataset (arena / column / CSR /\n"
+      "                      bitset bytes, storage mode) instead of fusing;\n"
+      "                      takes <observations.tsv> <gold.tsv> or --load\n"
+      "  --attach=MODE       with --load: how to materialize the snapshot's\n"
+      "                      dataset section: copy (default), mmap\n"
+      "                      (zero-copy attach), or mmap-verify (attach +\n"
+      "                      full checksum)\n"
       "  --help              this message\n",
       argv0, argv0, MethodLineup().c_str());
 }
@@ -117,7 +125,8 @@ void PrintPairList(const fuser::Dataset& ds, const char* title,
   }
   for (const fuser::PairwiseCorrelation& pc : list) {
     std::printf("  %s ~ %s: C=%.3f C!=%.3f support=%zu%s\n",
-                ds.source_name(pc.a).c_str(), ds.source_name(pc.b).c_str(),
+                std::string(ds.source_name(pc.a)).c_str(),
+                std::string(ds.source_name(pc.b)).c_str(),
                 pc.factors.on_true, pc.factors.on_false, pc.support,
                 pc.estimated ? " (estimated)" : "");
   }
@@ -133,7 +142,8 @@ std::string PairListJson(const fuser::Dataset& ds, bool on_true,
     if (i > 0) out += ", ";
     out += fuser::StrFormat(
         "{\"a\": \"%s\", \"b\": \"%s\", \"factor\": %s, \"support\": %zu}",
-        ds.source_name(pc.a).c_str(), ds.source_name(pc.b).c_str(),
+        std::string(ds.source_name(pc.a)).c_str(),
+        std::string(ds.source_name(pc.b)).c_str(),
         JsonNum(on_true ? pc.factors.on_true : pc.factors.on_false).c_str(),
         pc.support);
   }
@@ -178,6 +188,8 @@ int main(int argc, char** argv) {
   std::string load_path;
   bool runall = false;
   bool discover = false;
+  bool stats_mode = false;
+  std::string attach_flag;
   size_t shards = 0;  // 0 = unsharded
   size_t discover_top_n = 5;
   bool use_approx = false;
@@ -248,6 +260,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad value in: %s\n", arg.c_str());
         return 2;
       }
+    } else if (arg == "--stats") {
+      stats_mode = true;
+    } else if (StartsWith(arg, "--attach=")) {
+      attach_flag = arg.substr(9);
+      if (attach_flag != "copy" && attach_flag != "mmap" &&
+          attach_flag != "mmap-verify") {
+        std::fprintf(stderr, "bad value in: %s (see --help)\n", arg.c_str());
+        return 2;
+      }
     } else if (arg == "--approx") {
       use_approx = true;
     } else if (StartsWith(arg, "--approx=")) {
@@ -275,6 +296,15 @@ int main(int argc, char** argv) {
   }
   if (use_approx && !discover) {
     std::fprintf(stderr, "--approx requires --discover (see --help)\n");
+    return 2;
+  }
+  if (!attach_flag.empty() && !load_mode) {
+    std::fprintf(stderr, "--attach requires --load (see --help)\n");
+    return 2;
+  }
+  if (stats_mode && (discover || shards > 0)) {
+    std::fprintf(stderr,
+                 "--stats cannot be combined with --discover or --shards\n");
     return 2;
   }
   if (shards > 0) {
@@ -377,6 +407,58 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // ---- Stats mode: materialize the dataset, report its layout, exit.
+  if (stats_mode) {
+    std::unique_ptr<Dataset> ds;
+    if (load_mode) {
+      if (!positionals.empty()) {
+        Usage(argv[0], stderr);
+        return 2;
+      }
+      LoadOptions lopts;
+      if (attach_flag == "mmap") lopts.attach = AttachMode::kMmap;
+      if (attach_flag == "mmap-verify") lopts.attach = AttachMode::kMmapVerify;
+      auto loaded = attach_flag.empty() ? LoadSnapshot(load_path)
+                                        : LoadSnapshot(load_path, lopts);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "load failed: %s\n",
+                     loaded.status().ToString().c_str());
+        return 1;
+      }
+      ds = std::move(loaded->dataset);
+    } else {
+      if (positionals.size() != 2) {
+        Usage(argv[0], stderr);
+        return 2;
+      }
+      auto dataset = LoadDataset(positionals[0], positionals[1]);
+      if (!dataset.ok()) {
+        std::fprintf(stderr, "load failed: %s\n",
+                     dataset.status().ToString().c_str());
+        return 1;
+      }
+      ds = std::make_unique<Dataset>(std::move(*dataset));
+    }
+    const DatasetMemoryStats ms = ds->MemoryStats();
+    std::printf(
+        "{\"fuser_cli_stats\": {\"triples\": %zu, \"sources\": %zu, "
+        "\"domains\": %zu, \"arena_bytes\": %zu, \"column_bytes\": %zu, "
+        "\"csr_bytes\": %zu, \"bitset_bytes\": %zu, \"index_bytes\": %zu, "
+        "\"owned_bytes\": %zu, \"mapped_bytes\": %zu, \"total_bytes\": %zu, "
+        "\"bytes_per_triple\": %s, \"storage_mode\": \"%s\", "
+        "\"attach\": \"%s\"}}\n",
+        ms.num_triples, ms.num_sources, ms.num_domains, ms.arena_bytes,
+        ms.column_bytes, ms.csr_bytes, ms.bitset_bytes, ms.index_bytes,
+        ms.owned_bytes, ms.mapped_bytes, ms.total_bytes,
+        JsonNum(ms.num_triples > 0
+                    ? static_cast<double>(ms.total_bytes) /
+                          static_cast<double>(ms.num_triples)
+                    : 0.0)
+            .c_str(),
+        ms.storage_mode, attach_flag.empty() ? "copy" : attach_flag.c_str());
+    return 0;
+  }
+
   if (positionals.size() != (load_mode ? 1u : 3u)) {
     Usage(argv[0], stderr);
     return 2;
@@ -456,7 +538,11 @@ int main(int argc, char** argv) {
         shards, load_path.c_str(), owned_dataset->num_sources(),
         owned_dataset->num_triples(), owned_dataset->num_labeled());
   } else if (load_mode) {
-    auto loaded = LoadSnapshot(load_path);
+    LoadOptions lopts;
+    if (attach_flag == "mmap") lopts.attach = AttachMode::kMmap;
+    if (attach_flag == "mmap-verify") lopts.attach = AttachMode::kMmapVerify;
+    auto loaded = attach_flag.empty() ? LoadSnapshot(load_path)
+                                      : LoadSnapshot(load_path, lopts);
     if (!loaded.ok()) {
       std::fprintf(stderr, "load failed: %s\n",
                    loaded.status().ToString().c_str());

@@ -42,7 +42,7 @@ int main() {
   for (SourceId s = 0; s < dataset.num_sources(); ++s) {
     const SourceQuality& q = engine.source_quality()[s];
     std::printf("  %s: precision=%.2f recall=%.2f fpr=%.2f (%s source)\n",
-                dataset.source_name(s).c_str(), q.precision, q.recall,
+                std::string(dataset.source_name(s)).c_str(), q.precision, q.recall,
                 q.fpr, q.IsGood() ? "good" : "bad");
   }
 

@@ -42,8 +42,8 @@ int main() {
               "< 1 negative):\n");
   for (const PairwiseCorrelation& pc : *pairs) {
     std::printf("  %-12s %-12s C=%5.2f  C!=%5.2f\n",
-                dataset->source_name(pc.a).c_str(),
-                dataset->source_name(pc.b).c_str(), pc.factors.on_true,
+                std::string(dataset->source_name(pc.a)).c_str(),
+                std::string(dataset->source_name(pc.b)).c_str(), pc.factors.on_true,
                 pc.factors.on_false);
   }
 
@@ -56,7 +56,7 @@ int main() {
     std::printf("  {");
     for (size_t i = 0; i < cluster.size(); ++i) {
       std::printf("%s%s", i ? ", " : "",
-                  dataset->source_name(cluster[i]).c_str());
+                  std::string(dataset->source_name(cluster[i])).c_str());
     }
     std::printf("}\n");
   }

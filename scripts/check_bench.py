@@ -7,15 +7,18 @@ BENCH_<name>.json. This script compares a fresh run against those baselines
 and fails the build when a tracked metric regresses beyond the tolerance.
 
 Only *ratio-style* metrics (speedups: optimized-vs-baseline wall time
-measured in the same process) are gated, and only with a generous tolerance
-(default 2.5x, overridable per metric), because shared CI runners have
+measured in the same process) are gated, and only with a tolerance
+(default 2.0x, overridable per metric), because shared CI runners have
 noisy absolute timings but keep intra-process ratios fairly stable.
-Boolean correctness gates (scores_identical, kernels_identical, the
-sketch's error_within_bound_* flags) must hold exactly. Absolute timings
-and qps are reported for the uploaded artifacts but never gated.
+Deterministic *ceiling* metrics (bytes_per_triple: a pure function of the
+layout, not of machine speed) fail when the current run exceeds the
+baseline by more than their factor. Boolean correctness gates
+(scores_identical, kernels_identical, attach_ms_bound_ok, the sketch's
+error_within_bound_* flags) must hold exactly. Absolute timings and qps
+are reported for the uploaded artifacts but never gated.
 
 Usage:
-  check_bench.py --baseline-dir . --current-dir bench-out [--tolerance 2.5]
+  check_bench.py --baseline-dir . --current-dir bench-out [--tolerance 2.0]
 
 The current dir holds files named like the baselines (BENCH_persist.json,
 ...); each file's last non-empty line must be the bench's JSON object.
@@ -30,12 +33,9 @@ import os
 import sys
 
 # bench name (the JSON "bench" field) -> {ratio metric: tolerance override}.
-# A tolerance of None uses the command-line default (2.5x). The current run
+# A tolerance of None uses the command-line default (2.0x). The current run
 # fails when metric < baseline/tolerance.
 RATIO_METRICS = {
-    # The streaming and persistence speedups are the most stable ratios we
-    # track (two long, deterministic passes in one process), so they get a
-    # tighter 2.0x bar instead of the blanket default.
     "streaming": {"speedup": 2.0},
     "inference": {"grouping_speedup": None, "runall_speedup": None},
     "serving": {},  # qps/latency are absolute -> reported, not gated
@@ -47,6 +47,16 @@ RATIO_METRICS = {
     # claim (work reduction, not threads); 1.5x keeps the floor above the
     # no-speedup line for the checked-in ~2.5x baseline.
     "sharding": {"ingest_speedup_4": 1.5},
+    # mmap attach vs bulk copy-load of the same file, one process; the
+    # columnar-vs-legacy footprint ratio is layout-determined and stable.
+    "memory": {"attach_speedup": 2.0, "memory_reduction": None},
+}
+
+# bench name -> {metric: max growth factor}. These are deterministic
+# functions of the data layout (not machine speed): the current run fails
+# when metric > baseline * factor.
+CEILING_METRICS = {
+    "memory": {"bytes_per_triple": 1.1},
 }
 
 # bench name -> boolean metrics that must be true in the current run
@@ -63,6 +73,7 @@ BOOL_METRICS = {
         "error_within_bound_1024",
     ],
     "sharding": ["scores_identical"],
+    "memory": ["scores_identical", "attach_ms_bound_ok"],
 }
 
 
@@ -110,6 +121,21 @@ def check_file(baseline_path, current_path, tolerance):
                      f"{base:.2f} (floor {floor:.2f} at {metric_tolerance}x "
                      f"tolerance)"))
 
+    for metric, factor in CEILING_METRICS.get(name, {}).items():
+        if metric not in baseline:
+            rows.append((False, f"{name}.{metric}: missing from baseline"))
+            continue
+        if metric not in current:
+            rows.append((False, f"{name}.{metric}: missing from current run"))
+            continue
+        base, cur = float(baseline[metric]), float(current[metric])
+        ceiling = base * factor
+        ok = cur <= ceiling
+        rows.append((ok,
+                     f"{name}.{metric}: current {cur:.2f} vs baseline "
+                     f"{base:.2f} (ceiling {ceiling:.2f} at {factor}x "
+                     f"growth)"))
+
     for metric in BOOL_METRICS.get(name, []):
         if baseline.get(metric) is True:
             ok = current.get(metric) is True
@@ -123,9 +149,9 @@ def main():
                         help="directory holding the checked-in BENCH_*.json")
     parser.add_argument("--current-dir", required=True,
                         help="directory holding this run's bench JSON files")
-    parser.add_argument("--tolerance", type=float, default=2.5,
+    parser.add_argument("--tolerance", type=float, default=2.0,
                         help="fail when a ratio metric drops below "
-                             "baseline/tolerance (default 2.5)")
+                             "baseline/tolerance (default 2.0)")
     args = parser.parse_args()
 
     baselines = sorted(glob.glob(os.path.join(args.baseline_dir,

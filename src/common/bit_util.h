@@ -120,6 +120,30 @@ uint64_t BinomialCoefficient(int n, int k);
 uint64_t HashBytes64(const void* data, size_t size,
                      uint64_t seed = 0xCBF29CE484222325ULL);
 
+/// Full-avalanche finalizer (murmur3 fmix64): every input bit affects
+/// every output bit, including the low ones that `hash & mask` table
+/// indexing reads.
+inline uint64_t Avalanche64(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Hash for open-addressing table lookups keyed on a byte string. The raw
+/// chunked HashBytes64 is a checksum, not a slot hash: it folds 8 input
+/// bytes per multiply, so its *low* bits — the ones `& mask` keeps — see
+/// only the first few bytes of the key. Keys sharing a prefix (every
+/// generated id, every URL) then collapse into a handful of probe
+/// clusters and linear probing degrades to O(n) per lookup. The finalizer
+/// restores full avalanche; checksums keep the chainable un-finalized
+/// form.
+inline uint64_t TableHash64(const void* data, size_t size) {
+  return Avalanche64(HashBytes64(data, size));
+}
+
 /// In-place 64x64 bit-matrix transpose: after the call, bit j of m[i]
 /// equals bit i of the original m[j]. Bit k of word w is addressed as
 /// (w >> k) & 1, i.e. the LSB-first convention used by DynamicBitset.

@@ -1,0 +1,76 @@
+#include "common/mmap_file.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define FUSER_HAVE_MMAP 1
+#endif
+
+namespace fuser {
+
+StatusOr<std::shared_ptr<MappedFile>> MappedFile::Open(
+    const std::string& path) {
+#if defined(FUSER_HAVE_MMAP)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open for mapping: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat: " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return std::shared_ptr<MappedFile>(new MappedFile(nullptr, 0, true));
+  }
+  // MAP_PRIVATE: copy-on-write semantics; the loader never writes through
+  // the mapping, and later in-place file edits by other processes do not
+  // tear data pages already touched.
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference to the inode
+  if (addr == MAP_FAILED) {
+    return Status::IoError("mmap failed: " + path);
+  }
+  return std::shared_ptr<MappedFile>(
+      new MappedFile(static_cast<char*>(addr), size, true));
+#else
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    return Status::IoError("cannot open for mapping: " + path);
+  }
+  std::fseek(in, 0, SEEK_END);
+  const long end = std::ftell(in);
+  if (end < 0) {
+    std::fclose(in);
+    return Status::IoError("cannot stat: " + path);
+  }
+  std::fseek(in, 0, SEEK_SET);
+  const size_t size = static_cast<size_t>(end);
+  char* buf = size == 0 ? nullptr : new char[size];
+  if (size != 0 && std::fread(buf, 1, size, in) != size) {
+    delete[] buf;
+    std::fclose(in);
+    return Status::IoError("short read: " + path);
+  }
+  std::fclose(in);
+  return std::shared_ptr<MappedFile>(new MappedFile(buf, size, false));
+#endif
+}
+
+MappedFile::~MappedFile() {
+#if defined(FUSER_HAVE_MMAP)
+  if (mapped_) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    return;
+  }
+#endif
+  delete[] data_;
+}
+
+}  // namespace fuser

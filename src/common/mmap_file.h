@@ -1,0 +1,49 @@
+// MappedFile: read-only memory mapping of a whole file.
+//
+// The zero-copy snapshot attach path (persist/snapshot_io) maps the
+// snapshot file and binds dataset columns directly to the mapping, so
+// warm-start cost is independent of corpus size and the kernel pages data
+// in on demand. Holders keep the mapping alive through a shared_ptr; the
+// file on disk must outlive the mapping (see README "Memory
+// architecture"). POSIX rename-over (the atomic-save pattern) is safe:
+// the mapped inode stays alive until unmapped.
+//
+// On non-POSIX builds the "mapping" degrades to a heap read of the whole
+// file — same interface, no zero-copy win.
+#ifndef FUSER_COMMON_MMAP_FILE_H_
+#define FUSER_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace fuser {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only (MAP_PRIVATE). Empty files map to a null data
+  /// pointer with size 0.
+  static StatusOr<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(char* data, size_t size, bool mapped)
+      : data_(data), size_(size), mapped_(mapped) {}
+
+  char* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;  // false: heap fallback, delete[] instead of munmap
+};
+
+}  // namespace fuser
+
+#endif  // FUSER_COMMON_MMAP_FILE_H_

@@ -1,0 +1,91 @@
+// Span<T>: a non-owning view of a contiguous array.
+//
+// The columnar Dataset returns its provider / scope / domain rows as spans
+// into CSR pool storage (owned or mmap-attached) instead of const
+// references to per-row std::vectors. Spans compare element-wise against
+// vectors so existing EXPECT_EQ-style assertions keep working.
+#ifndef FUSER_COMMON_SPAN_H_
+#define FUSER_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+namespace fuser {
+
+template <typename T>
+class Span {
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  constexpr const T& front() const { return data_[0]; }
+  constexpr const T& back() const { return data_[size_ - 1]; }
+
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+
+  std::vector<T> ToVector() const { return std::vector<T>(begin(), end()); }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+template <typename T>
+bool operator==(Span<T> a, Span<T> b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+template <typename T>
+bool operator!=(Span<T> a, Span<T> b) {
+  return !(a == b);
+}
+
+template <typename T>
+bool operator==(Span<T> a, const std::vector<T>& b) {
+  return a == Span<T>(b);
+}
+
+template <typename T>
+bool operator==(const std::vector<T>& a, Span<T> b) {
+  return Span<T>(a) == b;
+}
+
+template <typename T>
+bool operator!=(Span<T> a, const std::vector<T>& b) {
+  return !(a == b);
+}
+
+template <typename T>
+bool operator!=(const std::vector<T>& a, Span<T> b) {
+  return !(a == b);
+}
+
+/// gtest-friendly printing.
+template <typename T>
+std::ostream& operator<<(std::ostream& os, Span<T> s) {
+  os << "[";
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << s[i];
+  }
+  return os << "]";
+}
+
+}  // namespace fuser
+
+#endif  // FUSER_COMMON_SPAN_H_

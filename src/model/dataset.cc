@@ -2,51 +2,67 @@
 
 #include <algorithm>
 
+#include "common/bit_util.h"
 #include "common/logging.h"
 
 namespace fuser {
 
-SourceId Dataset::AddSource(const std::string& name) {
+Dataset::Dataset() : strings_(std::make_unique<StringInterner>()) {
+  dict_.BindInterner(strings_.get());
+}
+
+SourceId Dataset::AddSource(std::string_view name) {
   FUSER_CHECK(!finalized_) << "AddSource after Finalize";
-  auto it = source_index_.find(name);
+  const StringRef ref = strings_->Intern(name);
+  const std::string_view key = strings_->arena().View(ref);
+  auto it = source_index_.find(key);
   FUSER_CHECK(it == source_index_.end()) << "duplicate source name: " << name;
   SourceId id = static_cast<SourceId>(source_names_.size());
-  source_names_.push_back(name);
-  source_index_.emplace(name, id);
-  pending_observations_.emplace_back();
+  source_names_.push_back(ref);
+  source_index_.emplace(key, id);
   return id;
 }
 
-DomainId Dataset::InternDomain(const std::string& name) {
+DomainId Dataset::InternDomain(std::string_view name) {
   auto it = domain_index_.find(name);
   if (it != domain_index_.end()) return it->second;
+  const StringRef ref = strings_->Intern(name);
   DomainId id = static_cast<DomainId>(domain_names_.size());
-  domain_names_.push_back(name);
-  domain_index_.emplace(name, id);
+  domain_names_.push_back(ref);
+  domain_index_.emplace(strings_->arena().View(ref), id);
   return id;
 }
 
-TripleId Dataset::AddTriple(const Triple& triple, const std::string& domain) {
+TripleId Dataset::AddTriple(const TripleView& triple,
+                            std::string_view domain) {
   FUSER_CHECK(!finalized_) << "AddTriple after Finalize";
-  TripleId existing = dict_.Lookup(triple);
-  if (existing != kInvalidTriple) return existing;
+  const size_t before = dict_.size();
   TripleId id = dict_.Intern(triple);
-  labels_.push_back(Label::kUnknown);
-  domains_.push_back(InternDomain(domain));
+  if (dict_.size() > before) {
+    labels_.push_back(Label::kUnknown);
+    // An existing triple keeps its original domain; only new triples
+    // intern theirs.
+    domains_.push_back(InternDomain(domain));
+  }
   return id;
 }
 
 void Dataset::Provide(SourceId source, TripleId triple) {
   FUSER_CHECK(!finalized_) << "Provide after Finalize";
-  FUSER_CHECK_LT(source, pending_observations_.size());
+  FUSER_CHECK_LT(source, source_names_.size());
   FUSER_CHECK_LT(triple, dict_.size());
-  pending_observations_[source].push_back(triple);
+  pending_observations_.emplace_back(source, triple);
 }
 
 void Dataset::SetLabel(TripleId triple, bool is_true) {
   FUSER_CHECK(!finalized_) << "SetLabel after Finalize";
   FUSER_CHECK_LT(triple, labels_.size());
-  labels_[triple] = is_true ? Label::kTrue : Label::kFalse;
+  labels_.Set(triple, is_true ? Label::kTrue : Label::kFalse);
+}
+
+TripleId Dataset::FindTriple(const TripleView& t) const {
+  EnsureLookups();
+  return dict_.Lookup(t);
 }
 
 Status Dataset::Finalize(bool allow_empty) {
@@ -66,37 +82,45 @@ Status Dataset::Finalize(bool allow_empty) {
   const size_t num_domains = domain_names_.size();
 
   outputs_.assign(n, DynamicBitset(m));
-  for (size_t s = 0; s < n; ++s) {
-    for (TripleId t : pending_observations_[s]) {
-      outputs_[s].Set(t);
-    }
+  for (const auto& [s, t] : pending_observations_) {
+    outputs_[s].Set(t);
   }
   pending_observations_.clear();
   pending_observations_.shrink_to_fit();
 
-  providers_.assign(m, {});
+  // Providers per triple, ascending source order: count, then fill.
+  std::vector<uint32_t> counts(m, 0);
   for (size_t s = 0; s < n; ++s) {
-    outputs_[s].ForEach([&](size_t t) {
-      providers_[t].push_back(static_cast<SourceId>(s));
-    });
+    outputs_[s].ForEach([&](size_t t) { ++counts[t]; });
   }
+  providers_.ResetWithCounts(counts);
+  for (size_t s = 0; s < n; ++s) {
+    outputs_[s].ForEach(
+        [&](size_t t) { providers_.Fill(t, static_cast<SourceId>(s)); });
+  }
+  providers_.FinishFill();
 
   source_covers_domain_.assign(n, DynamicBitset(num_domains));
   for (size_t s = 0; s < n; ++s) {
     outputs_[s].ForEach(
         [&](size_t t) { source_covers_domain_[s].Set(domains_[t]); });
   }
-  domain_sources_.assign(num_domains, {});
+  counts.assign(num_domains, 0);
   for (size_t s = 0; s < n; ++s) {
-    source_covers_domain_[s].ForEach([&](size_t d) {
-      domain_sources_[d].push_back(static_cast<SourceId>(s));
-    });
+    source_covers_domain_[s].ForEach([&](size_t d) { ++counts[d]; });
   }
+  domain_sources_.ResetWithCounts(counts);
+  for (size_t s = 0; s < n; ++s) {
+    source_covers_domain_[s].ForEach(
+        [&](size_t d) { domain_sources_.Fill(d, static_cast<SourceId>(s)); });
+  }
+  domain_sources_.FinishFill();
 
-  domain_triples_.assign(num_domains, {});
-  for (TripleId t = 0; t < m; ++t) {
-    domain_triples_[domains_[t]].push_back(t);
-  }
+  counts.assign(num_domains, 0);
+  for (TripleId t = 0; t < m; ++t) ++counts[domains_[t]];
+  domain_triples_.ResetWithCounts(counts);
+  for (TripleId t = 0; t < m; ++t) domain_triples_.Fill(domains_[t], t);
+  domain_triples_.FinishFill();
 
   true_mask_ = DynamicBitset(m);
   labeled_mask_ = DynamicBitset(m);
@@ -119,21 +143,28 @@ Status Dataset::ApplyBatch(const ObservationBatch& batch,
     return Status::FailedPrecondition(
         "ApplyBatch before Finalize (use AddTriple/Provide instead)");
   }
+  EnsureLookups();
   *delta = DatasetDelta{};
   delta->old_num_triples = dict_.size();
   delta->old_num_sources = source_names_.size();
   delta->old_num_domains = domain_names_.size();
 
+  auto add_source = [&](std::string_view name) {
+    const StringRef ref = strings_->Intern(name);
+    SourceId s = static_cast<SourceId>(source_names_.size());
+    source_names_.push_back(ref);
+    source_index_.emplace(strings_->arena().View(ref), s);
+    outputs_.emplace_back();              // resized to full width below
+    source_covers_domain_.emplace_back();
+    delta->new_sources.push_back(s);
+    return s;
+  };
+
   // Pass 0: pre-registered sources (sharded routing aligns shard-local
   // SourceIds with global ones by broadcasting new names in global order).
   for (const std::string& name : batch.register_sources) {
     if (source_index_.find(name) != source_index_.end()) continue;
-    SourceId s = static_cast<SourceId>(source_names_.size());
-    source_names_.push_back(name);
-    source_index_.emplace(name, s);
-    outputs_.emplace_back();  // resized to full width below
-    source_covers_domain_.emplace_back();
-    delta->new_sources.push_back(s);
+    add_source(name);
   }
 
   // Pass 1: intern sources, domains, and triples; collect the provide list.
@@ -145,53 +176,51 @@ Status Dataset::ApplyBatch(const ObservationBatch& batch,
     if (it != source_index_.end()) {
       s = it->second;
     } else {
-      s = static_cast<SourceId>(source_names_.size());
-      source_names_.push_back(obs.source);
-      source_index_.emplace(obs.source, s);
-      outputs_.emplace_back();              // resized to full width below
-      source_covers_domain_.emplace_back();
-      delta->new_sources.push_back(s);
+      s = add_source(obs.source);
     }
-    TripleId t = dict_.Lookup(obs.triple);
-    if (t == kInvalidTriple) {
-      t = dict_.Intern(obs.triple);
+    const size_t before = dict_.size();
+    TripleId t = dict_.Intern(obs.triple);
+    if (dict_.size() > before) {
       labels_.push_back(Label::kUnknown);
+      // An existing triple keeps its original domain (as in AddTriple).
       domains_.push_back(InternDomain(obs.domain));
       delta->new_triples.push_back(t);
     }
-    // An existing triple keeps its original domain (as in AddTriple).
     provides.emplace_back(s, t);
   }
 
-  // Resize the derived structures to the new widths.
+  // Resize the derived structures to the new widths. Unchanged widths are
+  // no-ops, so an attached dataset is only promoted where it grows (or, in
+  // pass 2/3, where a bit actually flips).
   const size_t m = dict_.size();
   const size_t num_domains = domain_names_.size();
   for (DynamicBitset& output : outputs_) output.Resize(m);
-  providers_.resize(m);
+  if (m > providers_.num_rows()) {
+    providers_.AppendRows(m - providers_.num_rows());
+  }
   for (DynamicBitset& covers : source_covers_domain_) {
     covers.Resize(num_domains);
   }
-  domain_sources_.resize(num_domains);
-  domain_triples_.resize(num_domains);
+  if (num_domains > domain_sources_.num_rows()) {
+    domain_sources_.AppendRows(num_domains - domain_sources_.num_rows());
+    domain_triples_.AppendRows(num_domains - domain_triples_.num_rows());
+  }
   for (TripleId t : delta->new_triples) {
-    domain_triples_[domains_[t]].push_back(t);
+    domain_triples_.InsertSorted(domains_[t], t);
   }
   true_mask_.Resize(m);
   labeled_mask_.Resize(m);
 
   // Pass 2: apply the provides, maintaining provider lists and scope tables.
-  auto insert_sorted = [](std::vector<SourceId>* vec, SourceId s) {
-    vec->insert(std::lower_bound(vec->begin(), vec->end(), s), s);
-  };
   for (const auto& [s, t] : provides) {
     if (outputs_[s].Test(t)) continue;  // duplicate observation
     outputs_[s].Set(t);
-    insert_sorted(&providers_[t], s);
+    providers_.InsertSorted(t, s);
     delta->new_provides.emplace_back(s, t);
     const DomainId d = domains_[t];
     if (!source_covers_domain_[s].Test(d)) {
       source_covers_domain_[s].Set(d);
-      insert_sorted(&domain_sources_[d], s);
+      domain_sources_.InsertSorted(d, s);
       delta->scope_gains.emplace_back(s, d);
     }
   }
@@ -200,14 +229,19 @@ Status Dataset::ApplyBatch(const ObservationBatch& batch,
   // (LoadDataset semantics: only provided triples are evaluated).
   for (const LabelUpdate& lu : batch.labels) {
     TripleId t = dict_.Lookup(lu.triple);
-    if (t == kInvalidTriple || providers_[t].empty()) continue;
+    if (t == kInvalidTriple || providers_.row(t).empty()) continue;
     const Label new_label = lu.is_true ? Label::kTrue : Label::kFalse;
     if (labels_[t] == new_label) continue;
     delta->label_changes.emplace_back(t, labels_[t]);
-    labels_[t] = new_label;
+    labels_.Set(t, new_label);
     labeled_mask_.Set(t);
     true_mask_.Assign(t, lu.is_true);
   }
+
+  // Reclaim CSR garbage left by relocating inserts (amortized O(1)).
+  providers_.MaybeCompact();
+  domain_sources_.MaybeCompact();
+  domain_triples_.MaybeCompact();
 
   // A no-op batch (all duplicates) leaves the version alone so runs scored
   // before it stay evaluable.
@@ -238,12 +272,178 @@ Status Dataset::RestoreVersion(uint64_t version) {
   return Status::OK();
 }
 
-StatusOr<SourceId> Dataset::FindSource(const std::string& name) const {
+StatusOr<SourceId> Dataset::FindSource(std::string_view name) const {
+  EnsureLookups();
   auto it = source_index_.find(name);
   if (it == source_index_.end()) {
-    return Status::NotFound("unknown source: " + name);
+    return Status::NotFound("unknown source: " + std::string(name));
   }
   return it->second;
+}
+
+void Dataset::EnsureLookups() const {
+  if (lookups_ready_) return;
+  const StringArena& arena = strings_->arena();
+  source_index_.reserve(source_names_.size());
+  for (size_t s = 0; s < source_names_.size(); ++s) {
+    const StringRef ref = source_names_[s];
+    strings_->InsertExisting(ref);
+    source_index_.emplace(arena.View(ref), static_cast<SourceId>(s));
+  }
+  domain_index_.reserve(domain_names_.size());
+  for (size_t d = 0; d < domain_names_.size(); ++d) {
+    const StringRef ref = domain_names_[d];
+    strings_->InsertExisting(ref);
+    domain_index_.emplace(arena.View(ref), static_cast<DomainId>(d));
+  }
+  dict_.BuildIndex();
+  lookups_ready_ = true;
+}
+
+std::unique_ptr<Dataset> Dataset::FromColumns(
+    const DatasetColumns& c, bool borrow,
+    std::shared_ptr<const void> keepalive) {
+  auto d = std::make_unique<Dataset>();
+  d->strings_ = std::make_unique<StringInterner>(c.arena_chunk_bytes);
+  d->dict_.BindInterner(d->strings_.get());
+  if (borrow) {
+    d->strings_->mutable_arena()->AttachImage(c.arena_image,
+                                              c.arena_image_bytes);
+  } else {
+    d->strings_->mutable_arena()->AdoptImageCopy(c.arena_image,
+                                                 c.arena_image_bytes);
+  }
+
+  d->source_names_.Attach(c.source_names, c.num_sources);
+  d->domain_names_.Attach(c.domain_names, c.num_domains);
+  d->dict_.AttachColumns(c.subjects, c.predicates, c.objects, c.num_triples);
+  d->domains_.Attach(c.domains, c.num_triples);
+  d->labels_.Attach(reinterpret_cast<const Label*>(c.labels), c.num_triples);
+
+  const size_t m = c.num_triples;
+  const size_t words_per_output = (m + 63) / 64;
+  d->outputs_.reserve(c.num_sources);
+  for (size_t s = 0; s < c.num_sources; ++s) {
+    d->outputs_.push_back(
+        DynamicBitset::View(c.output_words + s * words_per_output, m));
+  }
+
+  d->providers_.Attach(c.provider_offsets, c.provider_counts, c.provider_pool,
+                       m, c.provider_pool_len);
+  d->domain_sources_.Attach(c.domain_source_offsets, c.domain_source_counts,
+                            c.domain_source_pool, c.num_domains,
+                            c.domain_source_pool_len);
+  d->domain_triples_.Attach(c.domain_triple_offsets, c.domain_triple_counts,
+                            c.domain_triple_pool, c.num_domains,
+                            c.domain_triple_pool_len);
+
+  const size_t words_per_cover = (c.num_domains + 63) / 64;
+  d->source_covers_domain_.reserve(c.num_sources);
+  for (size_t s = 0; s < c.num_sources; ++s) {
+    d->source_covers_domain_.push_back(DynamicBitset::View(
+        c.covers_words + s * words_per_cover, c.num_domains));
+  }
+  d->true_mask_ = DynamicBitset::View(c.true_words, m);
+  d->labeled_mask_ = DynamicBitset::View(c.labeled_words, m);
+
+  d->finalized_ = true;
+  d->version_ = c.version;
+  d->lookups_ready_ = false;
+
+  if (borrow) {
+    d->attached_ = true;
+    d->keepalive_ = std::move(keepalive);
+  } else {
+    // Bulk-promote everything; the source arrays are transient (a decoded
+    // section buffer), so nothing may stay borrowed.
+    d->source_names_.EnsureOwned();
+    d->domain_names_.EnsureOwned();
+    d->dict_.EnsureOwned();
+    d->domains_.EnsureOwned();
+    d->labels_.EnsureOwned();
+    for (DynamicBitset& output : d->outputs_) output.EnsureOwned();
+    d->providers_.EnsureOwned();
+    d->domain_sources_.EnsureOwned();
+    d->domain_triples_.EnsureOwned();
+    for (DynamicBitset& covers : d->source_covers_domain_) {
+      covers.EnsureOwned();
+    }
+    d->true_mask_.EnsureOwned();
+    d->labeled_mask_.EnsureOwned();
+  }
+  return d;
+}
+
+DatasetMemoryStats Dataset::MemoryStats() const {
+  DatasetMemoryStats st;
+  st.num_triples = num_triples();
+  st.num_sources = num_sources();
+  st.num_domains = num_domains();
+
+  const StringArena& arena = strings_->arena();
+  st.arena_bytes = arena.owned_bytes() + arena.mapped_bytes();
+
+  size_t owned = arena.owned_bytes();
+  size_t mapped = arena.mapped_bytes();
+
+  auto add_column = [&](size_t size, size_t elem, size_t owned_bytes,
+                        bool borrowed) {
+    const size_t bytes = borrowed ? size * elem : owned_bytes;
+    st.column_bytes += bytes;
+    (borrowed ? mapped : owned) += bytes;
+  };
+  add_column(source_names_.size(), sizeof(StringRef),
+             source_names_.owned_bytes(), source_names_.borrowed());
+  add_column(domain_names_.size(), sizeof(StringRef),
+             domain_names_.owned_bytes(), domain_names_.borrowed());
+  add_column(dict_.size() * 3, sizeof(StringRef), dict_.column_owned_bytes(),
+             dict_.columns_borrowed());
+  add_column(domains_.size(), sizeof(DomainId), domains_.owned_bytes(),
+             domains_.borrowed());
+  add_column(labels_.size(), sizeof(Label), labels_.owned_bytes(),
+             labels_.borrowed());
+
+  auto add_csr = [&](size_t rows, size_t pool, size_t elem,
+                     size_t owned_bytes, bool borrowed) {
+    const size_t bytes =
+        borrowed ? rows * (sizeof(uint64_t) + sizeof(uint32_t)) + pool * elem
+                 : owned_bytes;
+    st.csr_bytes += bytes;
+    (borrowed ? mapped : owned) += bytes;
+  };
+  add_csr(providers_.num_rows(), providers_.pool_size(), sizeof(SourceId),
+          providers_.owned_bytes(), providers_.borrowed());
+  add_csr(domain_sources_.num_rows(), domain_sources_.pool_size(),
+          sizeof(SourceId), domain_sources_.owned_bytes(),
+          domain_sources_.borrowed());
+  add_csr(domain_triples_.num_rows(), domain_triples_.pool_size(),
+          sizeof(TripleId), domain_triples_.owned_bytes(),
+          domain_triples_.borrowed());
+
+  auto add_bitset = [&](const DynamicBitset& b) {
+    const size_t bytes = b.num_words() * sizeof(uint64_t);
+    st.bitset_bytes += bytes;
+    (b.borrowed() ? mapped : owned) += bytes;
+  };
+  for (const DynamicBitset& output : outputs_) add_bitset(output);
+  for (const DynamicBitset& covers : source_covers_domain_) {
+    add_bitset(covers);
+  }
+  add_bitset(true_mask_);
+  add_bitset(labeled_mask_);
+
+  // Lookup structures: interner table, triple index, and the two name
+  // maps (approximated at one cache line per entry of node + bucket cost).
+  st.index_bytes = strings_->table_bytes() + dict_.index_bytes() +
+                   (source_index_.size() + domain_index_.size()) * 64;
+  owned += st.index_bytes;
+
+  st.owned_bytes = owned;
+  st.mapped_bytes = mapped;
+  st.total_bytes = owned + mapped;
+  st.storage_mode =
+      attached_ ? (mapped > 0 ? "mmap" : "mmap+promoted") : "owned";
+  return st;
 }
 
 }  // namespace fuser

@@ -6,6 +6,17 @@
 // observation only if the source is "in scope" for t, i.e., provides some
 // other triple in t's domain; otherwise the source is silent about t.
 //
+// Storage is columnar and arena-backed (see README "Memory architecture"):
+//   * every string (triple fields, source/domain names) lives once in a
+//     StringArena, referenced by packed StringRefs;
+//   * per-triple data (refs, domain, label) are flat columns;
+//   * providers / scope rows are CSR tables (offset+count into one pool)
+//     instead of vector<vector<Id>>;
+//   * all of it either owns its memory or borrows it from an attached
+//     snapshot image (mmap). Mutators promote borrowed storage to owned
+//     copies on first write (copy-on-write), so ApplyBatch works
+//     identically on attached datasets.
+//
 // Usage:
 //   Dataset d;
 //   SourceId s = d.AddSource("extractor-1");
@@ -17,12 +28,17 @@
 #define FUSER_MODEL_DATASET_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/bitset.h"
+#include "common/column.h"
+#include "common/span.h"
 #include "common/status.h"
 #include "model/triple.h"
 
@@ -88,12 +104,78 @@ struct DatasetDelta {
   }
 };
 
+/// Raw pointers into one validated, contiguous snapshot image — the
+/// wire-format view of a finalized dataset's columns. Built by the persist
+/// layer and handed to Dataset::FromColumns, which either copies the
+/// arrays (bulk load) or binds its storage to them (mmap attach). All CSR
+/// arrays are compact (pool in row order, no garbage).
+struct DatasetColumns {
+  uint64_t version = 0;
+  size_t num_sources = 0;
+  size_t num_domains = 0;
+  size_t num_triples = 0;
+
+  const char* arena_image = nullptr;
+  size_t arena_image_bytes = 0;
+  size_t arena_chunk_bytes = 0;
+
+  const StringRef* source_names = nullptr;  // [num_sources]
+  const StringRef* domain_names = nullptr;  // [num_domains]
+  const StringRef* subjects = nullptr;      // [num_triples]
+  const StringRef* predicates = nullptr;    // [num_triples]
+  const StringRef* objects = nullptr;       // [num_triples]
+  const DomainId* domains = nullptr;        // [num_triples]
+  const uint8_t* labels = nullptr;          // [num_triples]
+
+  const uint64_t* output_words = nullptr;  // [num_sources * W], W=ceil(m/64)
+
+  const uint64_t* provider_offsets = nullptr;  // [num_triples]
+  const uint32_t* provider_counts = nullptr;   // [num_triples]
+  const SourceId* provider_pool = nullptr;     // [provider_pool_len]
+  size_t provider_pool_len = 0;
+
+  const uint64_t* domain_source_offsets = nullptr;  // [num_domains]
+  const uint32_t* domain_source_counts = nullptr;   // [num_domains]
+  const SourceId* domain_source_pool = nullptr;
+  size_t domain_source_pool_len = 0;
+
+  const uint64_t* domain_triple_offsets = nullptr;  // [num_domains]
+  const uint32_t* domain_triple_counts = nullptr;   // [num_domains]
+  const TripleId* domain_triple_pool = nullptr;
+  size_t domain_triple_pool_len = 0;
+
+  const uint64_t* covers_words = nullptr;  // [num_sources * Wd], Wd=ceil(D/64)
+  const uint64_t* true_words = nullptr;    // [W]
+  const uint64_t* labeled_words = nullptr; // [W]
+};
+
+/// Memory/layout report (fuser_cli --stats, bench_memory). Owned bytes are
+/// heap the dataset allocated; mapped bytes are served from an attached
+/// snapshot image. Index bytes are the lazily built lookup structures
+/// (string interner table, triple id index, name maps) — zero until the
+/// first name/triple lookup after an attach.
+struct DatasetMemoryStats {
+  size_t num_triples = 0;
+  size_t num_sources = 0;
+  size_t num_domains = 0;
+  size_t arena_bytes = 0;    // string payload (owned or mapped)
+  size_t column_bytes = 0;   // ref/domain/label columns
+  size_t csr_bytes = 0;      // providers + scope tables
+  size_t bitset_bytes = 0;   // outputs, covers, masks
+  size_t index_bytes = 0;    // lookup structures (approximate)
+  size_t owned_bytes = 0;    // heap total
+  size_t mapped_bytes = 0;   // attached-image total
+  size_t total_bytes = 0;    // owned + mapped
+  /// "owned", "mmap", or "mmap+promoted".
+  const char* storage_mode = "owned";
+};
+
 class Dataset {
  public:
-  Dataset() = default;
+  Dataset();
 
-  // Dataset owns large bitsets; keep it move-only to avoid accidental
-  // deep copies.
+  // Dataset owns large columns and bitsets; keep it move-only to avoid
+  // accidental deep copies.
   Dataset(const Dataset&) = delete;
   Dataset& operator=(const Dataset&) = delete;
   Dataset(Dataset&&) = default;
@@ -102,12 +184,12 @@ class Dataset {
   // ---- Construction (before Finalize) ----
 
   /// Registers a source; names must be unique.
-  SourceId AddSource(const std::string& name);
+  SourceId AddSource(std::string_view name);
 
   /// Interns a triple, assigning it to the domain named `domain` ("" means
   /// the default global domain). Re-adding an existing triple returns its
   /// id (and ignores a conflicting domain).
-  TripleId AddTriple(const Triple& triple, const std::string& domain = "");
+  TripleId AddTriple(const TripleView& triple, std::string_view domain = {});
 
   /// Records that `source` outputs `triple` (Si |= t). Idempotent.
   void Provide(SourceId source, TripleId triple);
@@ -134,7 +216,8 @@ class Dataset {
   /// observations and no-op labels are dropped. Labels for triples no
   /// source provides are skipped, mirroring LoadDataset. On success the
   /// structural delta is written to `*delta` (never null) and version() is
-  /// bumped.
+  /// bumped. On an attached (mmap) dataset this is the moment borrowed
+  /// storage gets promoted to owned memory (copy-on-write, per structure).
   Status ApplyBatch(const ObservationBatch& batch, DatasetDelta* delta);
 
   /// Monotonic change counter: bumped by Finalize and every ApplyBatch.
@@ -167,11 +250,15 @@ class Dataset {
 
   // ---- Triples & labels ----
 
-  const Triple& triple(TripleId t) const { return dict_.Get(t); }
-  TripleId FindTriple(const Triple& t) const { return dict_.Lookup(t); }
+  /// A view into the string arena; copy into a Triple to outlive the
+  /// dataset.
+  TripleView triple(TripleId t) const { return dict_.Get(t); }
+  TripleId FindTriple(const TripleView& t) const;
   Label label(TripleId t) const { return labels_[t]; }
   DomainId domain(TripleId t) const { return domains_[t]; }
-  const std::string& domain_name(DomainId d) const { return domain_names_[d]; }
+  std::string_view domain_name(DomainId d) const {
+    return strings_->arena().View(domain_names_[d]);
+  }
 
   /// Triples labeled true / triples with any label (as bitsets over ids).
   /// Valid after Finalize().
@@ -183,10 +270,12 @@ class Dataset {
 
   // ---- Sources & observations ----
 
-  const std::string& source_name(SourceId s) const { return source_names_[s]; }
+  std::string_view source_name(SourceId s) const {
+    return strings_->arena().View(source_names_[s]);
+  }
 
   /// Id of the source named `name`, or an error if unknown.
-  StatusOr<SourceId> FindSource(const std::string& name) const;
+  StatusOr<SourceId> FindSource(std::string_view name) const;
 
   /// The output set Oi of a source, as a bitset over triple ids.
   const DynamicBitset& output(SourceId s) const { return outputs_[s]; }
@@ -194,14 +283,12 @@ class Dataset {
   bool provides(SourceId s, TripleId t) const { return outputs_[s].Test(t); }
 
   /// Sources providing t (St), ascending. Valid after Finalize().
-  const std::vector<SourceId>& providers(TripleId t) const {
-    return providers_[t];
-  }
+  Span<SourceId> providers(TripleId t) const { return providers_.row(t); }
 
   /// Sources in scope for t: those that provide at least one triple in t's
   /// domain. Every provider of t is in scope. Valid after Finalize().
-  const std::vector<SourceId>& in_scope_sources(TripleId t) const {
-    return domain_sources_[domains_[t]];
+  Span<SourceId> in_scope_sources(TripleId t) const {
+    return domain_sources_.row(domains_[t]);
   }
 
   bool in_scope(SourceId s, TripleId t) const {
@@ -218,39 +305,86 @@ class Dataset {
   size_t output_size(SourceId s) const { return outputs_[s].Count(); }
 
   /// Triples of domain d, ascending. Valid after Finalize().
-  const std::vector<TripleId>& triples_in_domain(DomainId d) const {
-    return domain_triples_[d];
+  Span<TripleId> triples_in_domain(DomainId d) const {
+    return domain_triples_.row(d);
   }
 
+  // ---- Columnar access (persistence, src/persist/) ----
+
+  const StringArena& string_arena() const { return strings_->arena(); }
+  Span<StringRef> source_name_refs() const { return source_names_.span(); }
+  Span<StringRef> domain_name_refs() const { return domain_names_.span(); }
+  const TripleDictionary& triple_dict() const { return dict_; }
+  Span<DomainId> domains_span() const { return domains_.span(); }
+  Span<Label> labels_span() const { return labels_.span(); }
+  const CsrTable<SourceId>& providers_table() const { return providers_; }
+  const CsrTable<SourceId>& domain_sources_table() const {
+    return domain_sources_;
+  }
+  const CsrTable<TripleId>& domain_triples_table() const {
+    return domain_triples_;
+  }
+  const DynamicBitset& covers_bitset(SourceId s) const {
+    return source_covers_domain_[s];
+  }
+
+  /// Builds a finalized dataset over a validated snapshot image. With
+  /// `borrow` the columns alias the image (zero-copy attach; `keepalive`
+  /// pins the mapping for the dataset's lifetime); without it every array
+  /// is bulk-copied into owned storage and `keepalive` may be null.
+  /// Lookup structures (name maps, triple index, interner table) are NOT
+  /// built here — they materialize lazily on the first lookup — so attach
+  /// cost is O(num_sources + num_domains), independent of triple count.
+  static std::unique_ptr<Dataset> FromColumns(
+      const DatasetColumns& columns, bool borrow,
+      std::shared_ptr<const void> keepalive);
+
+  /// Whether any storage is still borrowed from an attached image.
+  bool attached() const { return attached_; }
+
+  DatasetMemoryStats MemoryStats() const;
+
  private:
-  DomainId InternDomain(const std::string& name);
+  DomainId InternDomain(std::string_view name);
+  /// Rebuilds the lazy lookup structures (name maps, interner table,
+  /// triple id index) after a snapshot attach. No-op when current.
+  void EnsureLookups() const;
 
   bool finalized_ = false;
   uint64_t version_ = 0;
+  bool attached_ = false;
 
-  std::vector<std::string> source_names_;
-  std::unordered_map<std::string, SourceId> source_index_;
+  /// Owns the arena; heap-allocated so interior pointers (views keyed in
+  /// the lazy name maps, the dictionary's interner binding) survive
+  /// Dataset moves.
+  std::unique_ptr<StringInterner> strings_;
+  mutable TripleDictionary dict_;
+  Column<StringRef> source_names_;
+  Column<StringRef> domain_names_;
+  Column<Label> labels_;
+  Column<DomainId> domains_;
 
-  TripleDictionary dict_;
-  std::vector<Label> labels_;
-  std::vector<DomainId> domains_;
-
-  std::vector<std::string> domain_names_;
-  std::unordered_map<std::string, DomainId> domain_index_;
+  // Lazy lookup structures, keyed by arena views (rebuilt after attach).
+  mutable std::unordered_map<std::string_view, SourceId> source_index_;
+  mutable std::unordered_map<std::string_view, DomainId> domain_index_;
+  mutable bool lookups_ready_ = true;
 
   // outputs_[s] is a bitset over triples; rebuilt to full width in
   // Finalize().
   std::vector<DynamicBitset> outputs_;
-  // Sparse observations collected before Finalize().
-  std::vector<std::vector<TripleId>> pending_observations_;
+  // Sparse (source, triple) observations collected before Finalize().
+  std::vector<std::pair<SourceId, TripleId>> pending_observations_;
 
   // Derived (Finalize; maintained incrementally by ApplyBatch).
-  std::vector<std::vector<SourceId>> providers_;
-  std::vector<std::vector<SourceId>> domain_sources_;
-  std::vector<std::vector<TripleId>> domain_triples_;
+  CsrTable<SourceId> providers_;
+  CsrTable<SourceId> domain_sources_;
+  CsrTable<TripleId> domain_triples_;
   std::vector<DynamicBitset> source_covers_domain_;
   DynamicBitset true_mask_;
   DynamicBitset labeled_mask_;
+
+  /// Pins the mmap'd snapshot image borrowed storage points into.
+  std::shared_ptr<const void> keepalive_;
 };
 
 }  // namespace fuser

@@ -91,12 +91,13 @@ Status SaveObservations(const Dataset& dataset, const std::string& path) {
   std::vector<CsvRow> rows;
   for (SourceId s = 0; s < dataset.num_sources(); ++s) {
     dataset.output(s).ForEach([&](size_t t) {
-      const Triple& triple = dataset.triple(static_cast<TripleId>(t));
-      CsvRow row = {dataset.source_name(s), triple.subject, triple.predicate,
-                    triple.object};
-      const std::string& domain =
+      const TripleView triple = dataset.triple(static_cast<TripleId>(t));
+      CsvRow row = {std::string(dataset.source_name(s)),
+                    std::string(triple.subject), std::string(triple.predicate),
+                    std::string(triple.object)};
+      const std::string_view domain =
           dataset.domain_name(dataset.domain(static_cast<TripleId>(t)));
-      if (!domain.empty()) row.push_back(domain);
+      if (!domain.empty()) row.emplace_back(domain);
       rows.push_back(std::move(row));
     });
   }
@@ -110,8 +111,9 @@ Status SaveGold(const Dataset& dataset, const std::string& path) {
   std::vector<CsvRow> rows;
   for (TripleId t = 0; t < dataset.num_triples(); ++t) {
     if (dataset.label(t) == Label::kUnknown) continue;
-    const Triple& triple = dataset.triple(t);
-    rows.push_back({triple.subject, triple.predicate, triple.object,
+    const TripleView triple = dataset.triple(t);
+    rows.push_back({std::string(triple.subject), std::string(triple.predicate),
+                    std::string(triple.object),
                     dataset.label(t) == Label::kTrue ? "true" : "false"});
   }
   return WriteCsvFile(path, rows, '\t');

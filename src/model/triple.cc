@@ -1,12 +1,13 @@
 #include "model/triple.h"
 
+#include "common/bit_util.h"
 #include "common/logging.h"
 
 namespace fuser {
 
 namespace {
 // FNV-1a over a string, continuing from `h`.
-size_t HashCombine(size_t h, const std::string& s) {
+size_t HashCombine(size_t h, std::string_view s) {
   constexpr size_t kPrime = 1099511628211ULL;
   for (char c : s) {
     h ^= static_cast<size_t>(static_cast<unsigned char>(c));
@@ -16,10 +17,28 @@ size_t HashCombine(size_t h, const std::string& s) {
   h *= kPrime;
   return h;
 }
+
+std::string ToStringImpl(std::string_view s, std::string_view p,
+                         std::string_view o) {
+  std::string out;
+  out.reserve(s.size() + p.size() + o.size() + 6);
+  out.append("{");
+  out.append(s);
+  out.append(", ");
+  out.append(p);
+  out.append(", ");
+  out.append(o);
+  out.append("}");
+  return out;
+}
 }  // namespace
 
 std::string Triple::ToString() const {
-  return "{" + subject + ", " + predicate + ", " + object + "}";
+  return ToStringImpl(subject, predicate, object);
+}
+
+std::string TripleView::ToString() const {
+  return ToStringImpl(subject, predicate, object);
 }
 
 size_t TripleHash::operator()(const Triple& t) const {
@@ -30,25 +49,118 @@ size_t TripleHash::operator()(const Triple& t) const {
   return h;
 }
 
-TripleId TripleDictionary::Intern(const Triple& t) {
-  auto it = index_.find(t);
-  if (it != index_.end()) {
-    return it->second;
+uint64_t TripleDictionary::HashRefs(StringRef s, StringRef p,
+                                    StringRef o) const {
+  // MixMaskPair ends in a bare multiply, which leaves its low bits weak
+  // for structured inputs — and packed refs are highly structured
+  // (sequential 40-bit offsets above a near-constant 24-bit length). The
+  // slot index is `hash & mask`, so run a full avalanche over the mix.
+  return Avalanche64(
+      MixMaskPair(s.packed(), MixMaskPair(p.packed(), o.packed())));
+}
+
+void TripleDictionary::MaybeGrow() {
+  if (slots_.empty()) {
+    slots_.assign(64, kEmptySlot);
+    return;
   }
-  TripleId id = static_cast<TripleId>(triples_.size());
-  triples_.push_back(t);
-  index_.emplace(t, id);
+  if (size() * 10 < slots_.size() * 7) return;
+  std::vector<uint32_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, kEmptySlot);
+  for (uint32_t id : old) {
+    if (id != kEmptySlot) InsertSlot(id);
+  }
+}
+
+void TripleDictionary::InsertSlot(TripleId id) {
+  const size_t mask = slots_.size() - 1;
+  size_t i = HashRefs(subjects_[id], predicates_[id], objects_[id]) & mask;
+  while (slots_[i] != kEmptySlot) i = (i + 1) & mask;
+  slots_[i] = id;
+}
+
+TripleId TripleDictionary::Intern(const TripleView& t) {
+  FUSER_CHECK(interner_ != nullptr && index_built_);
+  const StringRef s = interner_->Intern(t.subject);
+  const StringRef p = interner_->Intern(t.predicate);
+  const StringRef o = interner_->Intern(t.object);
+  MaybeGrow();
+  const size_t mask = slots_.size() - 1;
+  size_t i = HashRefs(s, p, o) & mask;
+  while (slots_[i] != kEmptySlot) {
+    const TripleId id = slots_[i];
+    // Refs are canonical (the interner dedups), so equality is pure ref
+    // comparison — no string bytes touched.
+    if (subjects_[id] == s && predicates_[id] == p && objects_[id] == o) {
+      return id;
+    }
+    i = (i + 1) & mask;
+  }
+  const TripleId id = static_cast<TripleId>(size());
+  subjects_.push_back(s);
+  predicates_.push_back(p);
+  objects_.push_back(o);
+  slots_[i] = id;
   return id;
 }
 
-TripleId TripleDictionary::Lookup(const Triple& t) const {
-  auto it = index_.find(t);
-  return it == index_.end() ? kInvalidTriple : it->second;
+TripleId TripleDictionary::Lookup(const TripleView& t) const {
+  FUSER_CHECK(interner_ != nullptr && index_built_);
+  if (slots_.empty()) return kInvalidTriple;
+  const StringRef s = interner_->Find(t.subject);
+  const StringRef p = interner_->Find(t.predicate);
+  const StringRef o = interner_->Find(t.object);
+  if (!s.valid() || !p.valid() || !o.valid()) return kInvalidTriple;
+  const size_t mask = slots_.size() - 1;
+  size_t i = HashRefs(s, p, o) & mask;
+  while (slots_[i] != kEmptySlot) {
+    const TripleId id = slots_[i];
+    if (subjects_[id] == s && predicates_[id] == p && objects_[id] == o) {
+      return id;
+    }
+    i = (i + 1) & mask;
+  }
+  return kInvalidTriple;
 }
 
-const Triple& TripleDictionary::Get(TripleId id) const {
-  FUSER_CHECK_LT(id, triples_.size());
-  return triples_[id];
+TripleView TripleDictionary::Get(TripleId id) const {
+  FUSER_CHECK_LT(id, size());
+  const StringArena& arena = interner_->arena();
+  return TripleView(arena.View(subjects_[id]), arena.View(predicates_[id]),
+                    arena.View(objects_[id]));
+}
+
+void TripleDictionary::AttachColumns(const StringRef* subjects,
+                                     const StringRef* predicates,
+                                     const StringRef* objects, size_t n) {
+  subjects_.Attach(subjects, n);
+  predicates_.Attach(predicates, n);
+  objects_.Attach(objects, n);
+  slots_.clear();
+  slots_.shrink_to_fit();
+  index_built_ = false;
+}
+
+void TripleDictionary::EnsureOwned() {
+  subjects_.EnsureOwned();
+  predicates_.EnsureOwned();
+  objects_.EnsureOwned();
+}
+
+void TripleDictionary::BuildIndex() {
+  if (index_built_) return;
+  const size_t n = size();
+  // Power-of-two capacity with load factor <= 0.7.
+  size_t cap = 64;
+  while (n * 10 >= cap * 7) cap *= 2;
+  slots_.assign(cap, kEmptySlot);
+  for (TripleId id = 0; id < n; ++id) {
+    interner_->InsertExisting(subjects_[id]);
+    interner_->InsertExisting(predicates_[id]);
+    interner_->InsertExisting(objects_[id]);
+    InsertSlot(id);
+  }
+  index_built_ = true;
 }
 
 }  // namespace fuser

@@ -105,6 +105,16 @@ Status ByteSource::ReadU32Array(uint32_t* out, size_t n) {
   return Status::OK();
 }
 
+Status ByteSource::ReadU64Array(uint64_t* out, size_t n) {
+  if (n > remaining() / 8) {
+    return Status::InvalidArgument("snapshot data truncated mid-field");
+  }
+  const uint8_t* p = data_ + pos_;
+  for (size_t i = 0; i < n; ++i) out[i] = DecodeU64(p + 8 * i);
+  pos_ += n * 8;
+  return Status::OK();
+}
+
 Status ByteSource::ReadDoubleArray(double* out, size_t n) {
   if (n > remaining() / 8) {
     return Status::InvalidArgument("snapshot data truncated mid-field");
@@ -152,22 +162,13 @@ Status ByteSource::ReadBitset(DynamicBitset* bits) {
     return Status::InvalidArgument("corrupt bitset size");
   }
   DynamicBitset out(static_cast<size_t>(num_bits));
-  for (size_t wi = 0; wi < num_words; ++wi) {
-    uint64_t word = 0;
-    FUSER_RETURN_IF_ERROR(ReadU64(&word));
-    if (wi + 1 == num_words && num_bits % 64 != 0) {
-      // Tail bits past size() must be zero (DynamicBitset invariant); a
-      // nonzero tail means corruption.
-      const uint64_t tail_mask = (uint64_t{1} << (num_bits % 64)) - 1;
-      if ((word & ~tail_mask) != 0) {
-        return Status::InvalidArgument("corrupt bitset tail");
-      }
-    }
-    uint64_t w = word;
-    while (w != 0) {
-      const int b = CountTrailingZeros64(w);
-      out.Set(wi * 64 + static_cast<size_t>(b));
-      w &= w - 1;
+  FUSER_RETURN_IF_ERROR(ReadU64Array(out.MutableWords(), num_words));
+  if (num_words > 0 && num_bits % 64 != 0) {
+    // Tail bits past size() must be zero (DynamicBitset invariant); a
+    // nonzero tail means corruption.
+    const uint64_t tail_mask = (uint64_t{1} << (num_bits % 64)) - 1;
+    if ((out.word(num_words - 1) & ~tail_mask) != 0) {
+      return Status::InvalidArgument("corrupt bitset tail");
     }
   }
   *bits = std::move(out);

@@ -75,6 +75,7 @@ class ByteSource {
   /// posterior tables — where per-element Status plumbing would dominate
   /// the warm-start wall clock.
   Status ReadU32Array(uint32_t* out, size_t n);
+  Status ReadU64Array(uint64_t* out, size_t n);
   Status ReadDoubleArray(double* out, size_t n);
 
   /// Reads a u64 element count and validates that `count * min_elem_bytes`

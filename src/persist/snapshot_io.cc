@@ -1,11 +1,14 @@
 #include "persist/snapshot_io.h"
 
+
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
 #include <map>
+#include <string_view>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -15,6 +18,7 @@
 #include <unistd.h>
 #endif
 
+#include "common/mmap_file.h"
 #include "core/fusion_method.h"
 #include "core/joint_stats.h"
 #include "core/pattern_pipeline.h"
@@ -220,136 +224,295 @@ Status DecodeEngineSection(ByteSource src, EngineSection* out) {
 }
 
 // ---------------------------------------------------------------------------
-// DATASET section.
+// DATASET section (format v2): a columnar aligned-span image.
+//
+// Payload layout, in file order ("64-aligned" = the field's *file offset*
+// is a multiple of 64, which makes it 64-aligned in an mmap and 8-aligned
+// in any heap buffer):
+//
+//   pad0: zeros up to the first 64-aligned offset
+//   u64 scalars[9]: dataset version, num_sources, num_domains,
+//                   num_triples, arena_image_bytes, arena_chunk_bytes,
+//                   provider/domain_source/domain_triple pool lengths
+//   u64 source_name_refs[S] | u64 domain_name_refs[D]
+//   u64 meta_checksum            (FNV-1a over the payload so far)
+//   pad1: zeros up to the next 64-aligned offset
+//   arena image                  (arena_image_bytes, multiple of chunk)
+//   u64 arrays: subjects[m] predicates[m] objects[m]
+//               provider_offsets[m] ds_offsets[D] dt_offsets[D]
+//               output_words[S*W] covers_words[S*Wd]
+//               true_words[W] labeled_words[W]       (W = ceil(m/64))
+//   u32 arrays: domains[m] provider_counts[m] provider_pool
+//               ds_counts[D] ds_pool dt_counts[D] dt_pool
+//   u8 labels[m]
+//
+// Every byte (pads included) is covered by the section checksum, so the
+// single-byte-flip corruption sweep still rejects every flip. The meta
+// checksum covers only pad0 + scalars + refs: it is what AttachMode::kMmap
+// verifies — O(S + D) instead of O(total) — before trusting the rest.
+// The total payload size is fully determined by the scalars, so a
+// truncated section fails the size equation before any pointer is formed.
+// Multi-byte fields are stored native-endian; the attach path casts the
+// image in place, which (like the rest of this format) assumes a
+// little-endian host.
 // ---------------------------------------------------------------------------
 
-std::string EncodeDatasetSection(const Dataset& dataset) {
-  ByteSink sink;
-  sink.WriteU64(dataset.version());
-  sink.WriteU64(dataset.num_sources());
-  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
-    sink.WriteString(dataset.source_name(s));
-  }
-  sink.WriteU64(dataset.num_domains());
-  for (DomainId d = 0; d < dataset.num_domains(); ++d) {
-    sink.WriteString(dataset.domain_name(d));
-  }
-  sink.WriteU64(dataset.num_triples());
-  for (TripleId t = 0; t < dataset.num_triples(); ++t) {
-    const Triple& triple = dataset.triple(t);
-    sink.WriteString(triple.subject);
-    sink.WriteString(triple.predicate);
-    sink.WriteString(triple.object);
-    sink.WriteU32(dataset.domain(t));
-    sink.WriteU8(static_cast<uint8_t>(dataset.label(t)));
-  }
-  for (SourceId s = 0; s < dataset.num_sources(); ++s) {
-    sink.WriteBitset(dataset.output(s));
-  }
-  return sink.data();
+constexpr size_t kDsScalars = 9;
+constexpr uint64_t kMaxDsField = uint64_t{1} << 46;  // 64 TiB sanity bound
+
+size_t PadTo64(uint64_t offset) {
+  return static_cast<size_t>((64 - (offset & 63)) & 63);
 }
 
-/// Re-materializes the dataset through its own construction API (AddSource
-/// / AddTriple / Provide / Finalize), so every derived index is rebuilt by
-/// exactly the code that built the original — the restored dataset is
-/// indistinguishable from the one that was saved.
-StatusOr<std::unique_ptr<Dataset>> DecodeDatasetSection(
-    ByteSource src, const EngineSection& engine) {
+/// Byte offsets of every DATASET payload field, derived from the scalar
+/// header and the section's file offset. Shared by the writer and both
+/// load paths so the layout is defined exactly once.
+struct DsLayout {
   uint64_t version = 0;
-  FUSER_RETURN_IF_ERROR(src.ReadU64(&version));
-  if (version != engine.dataset_version) {
-    return Corrupt("dataset section version disagrees with engine state");
-  }
-  auto dataset = std::make_unique<Dataset>();
+  size_t num_sources = 0, num_domains = 0, num_triples = 0;
+  size_t arena_bytes = 0, chunk_bytes = 0;
+  size_t p_pool = 0, ds_pool = 0, dt_pool = 0;
+  size_t words = 0, domain_words = 0;  // W, Wd
 
-  size_t num_sources = 0;
-  FUSER_RETURN_IF_ERROR(src.ReadCount(8, &num_sources));
-  if (num_sources != engine.num_sources) {
-    return Corrupt("dataset source count disagrees with engine state");
+  size_t pad0 = 0;
+  size_t scalars_off = 0, source_refs_off = 0, domain_refs_off = 0;
+  size_t meta_checksum_off = 0;
+  size_t arena_off = 0;
+  size_t subjects_off = 0, predicates_off = 0, objects_off = 0;
+  size_t p_offsets_off = 0, ds_offsets_off = 0, dt_offsets_off = 0;
+  size_t outputs_off = 0, covers_off = 0;
+  size_t true_off = 0, labeled_off = 0;
+  size_t domains_off = 0;
+  size_t p_counts_off = 0, p_pool_off = 0;
+  size_t ds_counts_off = 0, ds_pool_off = 0;
+  size_t dt_counts_off = 0, dt_pool_off = 0;
+  size_t labels_off = 0;
+  size_t total = 0;
+};
+
+Status ComputeDsLayout(uint64_t section_offset,
+                       const uint64_t scalars[kDsScalars], DsLayout* l) {
+  l->version = scalars[0];
+  const uint64_t counts[3] = {scalars[1], scalars[2], scalars[3]};
+  for (uint64_t c : counts) {
+    if (c >= static_cast<uint32_t>(-1)) {
+      return Corrupt("dataset count exceeds 32-bit id space");
+    }
   }
-  std::unordered_set<std::string> seen_sources;
-  seen_sources.reserve(num_sources);
-  for (size_t s = 0; s < num_sources; ++s) {
-    std::string name;
-    FUSER_RETURN_IF_ERROR(src.ReadString(&name));
-    if (!seen_sources.insert(name).second) {
-      return Corrupt("duplicate source name");
+  l->num_sources = static_cast<size_t>(scalars[1]);
+  l->num_domains = static_cast<size_t>(scalars[2]);
+  l->num_triples = static_cast<size_t>(scalars[3]);
+  if (scalars[4] > kMaxDsField || scalars[6] > kMaxDsField ||
+      scalars[7] > kMaxDsField || scalars[8] > kMaxDsField) {
+    return Corrupt("implausible dataset section field size");
+  }
+  l->arena_bytes = static_cast<size_t>(scalars[4]);
+  l->chunk_bytes = static_cast<size_t>(scalars[5]);
+  if (l->chunk_bytes < 64 || l->chunk_bytes > (size_t{1} << 30) ||
+      (l->chunk_bytes & (l->chunk_bytes - 1)) != 0) {
+    return Corrupt("bad arena chunk size");
+  }
+  if (l->arena_bytes % l->chunk_bytes != 0) {
+    return Corrupt("arena image not a multiple of its chunk size");
+  }
+  l->p_pool = static_cast<size_t>(scalars[6]);
+  l->ds_pool = static_cast<size_t>(scalars[7]);
+  l->dt_pool = static_cast<size_t>(scalars[8]);
+  l->words = (l->num_triples + 63) / 64;
+  l->domain_words = (l->num_domains + 63) / 64;
+
+  size_t off = PadTo64(section_offset);
+  l->pad0 = off;
+  Status overflow = Status::OK();
+  auto place = [&](size_t* field, size_t count, size_t elem) {
+    *field = off;
+    const size_t bytes = count * elem;
+    if (count > kMaxDsField || off > kMaxDsField) {
+      overflow = Corrupt("implausible dataset section field size");
+      return;
     }
-    if (dataset->AddSource(name) != static_cast<SourceId>(s)) {
-      return Corrupt("source ids not dense");
-    }
+    off += bytes;
+  };
+  size_t ignored = 0;
+  place(&l->scalars_off, kDsScalars, 8);
+  place(&l->source_refs_off, l->num_sources, 8);
+  place(&l->domain_refs_off, l->num_domains, 8);
+  place(&l->meta_checksum_off, 1, 8);
+  place(&ignored, PadTo64(section_offset + off), 1);  // pad1
+  place(&l->arena_off, l->arena_bytes, 1);
+  place(&l->subjects_off, l->num_triples, 8);
+  place(&l->predicates_off, l->num_triples, 8);
+  place(&l->objects_off, l->num_triples, 8);
+  place(&l->p_offsets_off, l->num_triples, 8);
+  place(&l->ds_offsets_off, l->num_domains, 8);
+  place(&l->dt_offsets_off, l->num_domains, 8);
+  place(&l->outputs_off, l->num_sources * l->words, 8);
+  place(&l->covers_off, l->num_sources * l->domain_words, 8);
+  place(&l->true_off, l->words, 8);
+  place(&l->labeled_off, l->words, 8);
+  place(&l->domains_off, l->num_triples, 4);
+  place(&l->p_counts_off, l->num_triples, 4);
+  place(&l->p_pool_off, l->p_pool, 4);
+  place(&l->ds_counts_off, l->num_domains, 4);
+  place(&l->ds_pool_off, l->ds_pool, 4);
+  place(&l->dt_counts_off, l->num_domains, 4);
+  place(&l->dt_pool_off, l->dt_pool, 4);
+  place(&l->labels_off, l->num_triples, 1);
+  FUSER_RETURN_IF_ERROR(overflow);
+  l->total = off;
+  return Status::OK();
+}
+
+/// Parses a v2 DATASET payload into column pointers. Verifies the size
+/// equation and the meta checksum; the caller decides how much more to
+/// verify (full section checksum, structural validation, fingerprint)
+/// according to the attach mode.
+Status ParseDatasetColumns(const char* payload, size_t size,
+                           uint64_t section_offset, DatasetColumns* cols) {
+  const size_t pad0 = PadTo64(section_offset);
+  if (size < pad0 + kDsScalars * 8) {
+    return Corrupt("dataset section too small");
+  }
+  uint64_t scalars[kDsScalars];
+  std::memcpy(scalars, payload + pad0, sizeof(scalars));
+  DsLayout l;
+  FUSER_RETURN_IF_ERROR(ComputeDsLayout(section_offset, scalars, &l));
+  if (l.total != size) {
+    return Corrupt("dataset section size disagrees with its header");
+  }
+  uint64_t stored_meta = 0;
+  std::memcpy(&stored_meta, payload + l.meta_checksum_off, 8);
+  if (Checksum64(payload, l.meta_checksum_off) != stored_meta) {
+    return Corrupt("dataset meta checksum mismatch");
   }
 
-  size_t num_domains = 0;
-  FUSER_RETURN_IF_ERROR(src.ReadCount(8, &num_domains));
-  if (num_domains != engine.num_domains) {
-    return Corrupt("dataset domain count disagrees with engine state");
-  }
-  std::vector<std::string> domain_names(num_domains);
-  std::unordered_set<std::string> seen_domains;
-  seen_domains.reserve(num_domains);
-  for (std::string& name : domain_names) {
-    FUSER_RETURN_IF_ERROR(src.ReadString(&name));
-    if (!seen_domains.insert(name).second) {
-      return Corrupt("duplicate domain name");
-    }
-  }
+  cols->version = l.version;
+  cols->num_sources = l.num_sources;
+  cols->num_domains = l.num_domains;
+  cols->num_triples = l.num_triples;
+  cols->arena_image = payload + l.arena_off;
+  cols->arena_image_bytes = l.arena_bytes;
+  cols->arena_chunk_bytes = l.chunk_bytes;
+  auto refs = [&](size_t off) {
+    return reinterpret_cast<const StringRef*>(payload + off);
+  };
+  auto u64s = [&](size_t off) {
+    return reinterpret_cast<const uint64_t*>(payload + off);
+  };
+  auto u32s = [&](size_t off) {
+    return reinterpret_cast<const uint32_t*>(payload + off);
+  };
+  cols->source_names = refs(l.source_refs_off);
+  cols->domain_names = refs(l.domain_refs_off);
+  cols->subjects = refs(l.subjects_off);
+  cols->predicates = refs(l.predicates_off);
+  cols->objects = refs(l.objects_off);
+  cols->domains = u32s(l.domains_off);
+  cols->labels = reinterpret_cast<const uint8_t*>(payload + l.labels_off);
+  cols->output_words = u64s(l.outputs_off);
+  cols->provider_offsets = u64s(l.p_offsets_off);
+  cols->provider_counts = u32s(l.p_counts_off);
+  cols->provider_pool = u32s(l.p_pool_off);
+  cols->provider_pool_len = l.p_pool;
+  cols->domain_source_offsets = u64s(l.ds_offsets_off);
+  cols->domain_source_counts = u32s(l.ds_counts_off);
+  cols->domain_source_pool = u32s(l.ds_pool_off);
+  cols->domain_source_pool_len = l.ds_pool;
+  cols->domain_triple_offsets = u64s(l.dt_offsets_off);
+  cols->domain_triple_counts = u32s(l.dt_counts_off);
+  cols->domain_triple_pool = u32s(l.dt_pool_off);
+  cols->domain_triple_pool_len = l.dt_pool;
+  cols->covers_words = u64s(l.covers_off);
+  cols->true_words = u64s(l.true_off);
+  cols->labeled_words = u64s(l.labeled_off);
+  return Status::OK();
+}
 
-  size_t num_triples = 0;
-  FUSER_RETURN_IF_ERROR(src.ReadCount(3 * 8 + 4 + 1, &num_triples));
-  if (num_triples != engine.num_triples) {
-    return Corrupt("dataset triple count disagrees with engine state");
+/// Structural validation of parsed columns: every ref inside the arena,
+/// every id in range, every CSR row inside its pool. O(num_triples +
+/// pools) — run by kCopy and kMmapVerify so that even a file with valid
+/// checksums (crafted, not corrupted) fails with a Status instead of
+/// tripping a bounds CHECK later.
+Status ValidateDatasetColumns(const DatasetColumns& c) {
+  auto ref_ok = [&](StringRef r) {
+    return r.offset() + r.length() <= c.arena_image_bytes;
+  };
+  for (size_t s = 0; s < c.num_sources; ++s) {
+    if (!ref_ok(c.source_names[s])) return Corrupt("source name ref OOB");
   }
-  std::vector<uint8_t> labels(num_triples);
-  for (size_t t = 0; t < num_triples; ++t) {
-    Triple triple;
-    FUSER_RETURN_IF_ERROR(src.ReadString(&triple.subject));
-    FUSER_RETURN_IF_ERROR(src.ReadString(&triple.predicate));
-    FUSER_RETURN_IF_ERROR(src.ReadString(&triple.object));
-    uint32_t domain_id = 0;
-    FUSER_RETURN_IF_ERROR(src.ReadU32(&domain_id));
-    FUSER_RETURN_IF_ERROR(src.ReadU8(&labels[t]));
-    if (labels[t] > 2) {
-      return Corrupt("label out of range");
+  for (size_t d = 0; d < c.num_domains; ++d) {
+    if (!ref_ok(c.domain_names[d])) return Corrupt("domain name ref OOB");
+  }
+  for (size_t t = 0; t < c.num_triples; ++t) {
+    if (!ref_ok(c.subjects[t]) || !ref_ok(c.predicates[t]) ||
+        !ref_ok(c.objects[t])) {
+      return Corrupt("triple field ref OOB");
     }
-    if (domain_id >= num_domains) {
+    if (c.domains[t] >= c.num_domains) {
       return Corrupt("triple domain id out of range");
     }
-    // Duplicate triples would silently collapse under interning; detect
-    // them by the id AddTriple hands back.
-    if (dataset->AddTriple(triple, domain_names[domain_id]) !=
-        static_cast<TripleId>(t)) {
-      return Corrupt("duplicate triple");
-    }
-    // Domains must intern back to their original ids (they were assigned
-    // in first-reference order, which triple order reproduces).
-    if (dataset->domain(static_cast<TripleId>(t)) != domain_id) {
-      return Corrupt("domain ids not in first-reference order");
-    }
+    if (c.labels[t] > 2) return Corrupt("label out of range");
   }
-  for (size_t t = 0; t < num_triples; ++t) {
-    if (labels[t] != 0) {
-      dataset->SetLabel(static_cast<TripleId>(t), labels[t] == 2);
+  auto csr_ok = [](const uint64_t* offs, const uint32_t* cnts, size_t rows,
+                   size_t pool_len, const uint32_t* pool, size_t id_bound) {
+    for (size_t r = 0; r < rows; ++r) {
+      if (offs[r] > pool_len || cnts[r] > pool_len - offs[r]) return false;
+      for (size_t i = 0; i < cnts[r]; ++i) {
+        if (pool[offs[r] + i] >= id_bound) return false;
+      }
     }
+    return true;
+  };
+  if (!csr_ok(c.provider_offsets, c.provider_counts, c.num_triples,
+              c.provider_pool_len, c.provider_pool, c.num_sources)) {
+    return Corrupt("provider table out of bounds");
   }
+  if (!csr_ok(c.domain_source_offsets, c.domain_source_counts, c.num_domains,
+              c.domain_source_pool_len, c.domain_source_pool,
+              c.num_sources)) {
+    return Corrupt("domain source table out of bounds");
+  }
+  if (!csr_ok(c.domain_triple_offsets, c.domain_triple_counts, c.num_domains,
+              c.domain_triple_pool_len, c.domain_triple_pool,
+              c.num_triples)) {
+    return Corrupt("domain triple table out of bounds");
+  }
+  return Status::OK();
+}
 
-  for (size_t s = 0; s < num_sources; ++s) {
-    DynamicBitset output;
-    FUSER_RETURN_IF_ERROR(src.ReadBitset(&output));
-    if (output.size() != num_triples) {
-      return Corrupt("source output bitset size mismatch");
-    }
-    output.ForEach([&](size_t t) {
-      dataset->Provide(static_cast<SourceId>(s), static_cast<TripleId>(t));
-    });
+/// A CSR table's arrays in serializable (compact, row-ordered) form.
+/// Zero-garbage tables are referenced in place; a table with relocation
+/// garbage gets its offsets/pool rebuilt here.
+struct CompactCsrView {
+  std::vector<uint64_t> offsets_storage;
+  std::vector<uint32_t> pool_storage;
+  const uint64_t* offsets = nullptr;
+  const uint32_t* counts = nullptr;
+  const uint32_t* pool = nullptr;
+  size_t pool_len = 0;
+};
+
+CompactCsrView MakeCompactView(const CsrTable<uint32_t>& table) {
+  CompactCsrView v;
+  v.counts = table.counts_data();
+  if (table.garbage() == 0) {
+    v.offsets = table.offsets_data();
+    v.pool = table.pool_data();
+    v.pool_len = table.pool_size();
+    return v;
   }
-  FUSER_RETURN_IF_ERROR(ExpectExhausted(src, "dataset"));
-  // Empty datasets are legitimate here: a sharded save writes one snapshot
-  // per shard, and a shard may own zero triples. Emptiness was validated
-  // (or deliberately allowed) when the saved dataset was finalized.
-  FUSER_RETURN_IF_ERROR(dataset->Finalize(/*allow_empty=*/true));
-  FUSER_RETURN_IF_ERROR(dataset->RestoreVersion(version));
-  return dataset;
+  const size_t rows = table.num_rows();
+  v.offsets_storage.resize(rows);
+  v.pool_storage.reserve(table.live_size());
+  for (size_t r = 0; r < rows; ++r) {
+    v.offsets_storage[r] = v.pool_storage.size();
+    const Span<uint32_t> row = table.row(r);
+    v.pool_storage.insert(v.pool_storage.end(), row.begin(), row.end());
+  }
+  v.offsets = v.offsets_storage.data();
+  v.pool = v.pool_storage.data();
+  v.pool_len = v.pool_storage.size();
+  return v;
 }
 
 // ---------------------------------------------------------------------------
@@ -682,52 +845,170 @@ Status DecodeServingSection(ByteSource src, const MethodContext& context,
 // File assembly and parsing.
 // ---------------------------------------------------------------------------
 
-Status WriteFileAtomic(const std::string& path, const std::string& bytes) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* out = std::fopen(tmp.c_str(), "wb");
-  if (out == nullptr) {
-    return Status::IoError("cannot open for writing: " + tmp);
+/// Incremental Checksum64: reproduces the whole-buffer hash for any split
+/// of the input into Update calls. Checksum64 (HashBytes64) consumes the
+/// buffer in 8-byte chunks with a byte-wise tail, and the chunk boundaries
+/// are positions relative to the buffer start — so the streaming version
+/// carries a partial chunk between calls instead of naively re-seeding.
+class ChainedHasher {
+ public:
+  void Reset() {
+    h_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+    pending_len_ = 0;
   }
-  if (!bytes.empty() &&
-      std::fwrite(bytes.data(), 1, bytes.size(), out) != bytes.size()) {
-    std::fclose(out);
-    std::remove(tmp.c_str());
-    return Status::IoError("short write: " + tmp);
+
+  void Update(const void* data, size_t size) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    if (pending_len_ > 0) {
+      while (size > 0 && pending_len_ < 8) {
+        pending_[pending_len_++] = *p++;
+        --size;
+      }
+      if (pending_len_ < 8) return;
+      Mix(pending_);
+      pending_len_ = 0;
+    }
+    for (; size >= 8; p += 8, size -= 8) Mix(p);
+    for (size_t i = 0; i < size; ++i) pending_[pending_len_++] = p[i];
   }
-  if (std::fflush(out) != 0) {
-    std::fclose(out);
-    std::remove(tmp.c_str());
-    return Status::IoError("flush failed: " + tmp);
+
+  uint64_t Finish() const {
+    uint64_t h = h_;
+    for (size_t i = 0; i < pending_len_; ++i) {
+      h ^= pending_[i];
+      h *= 0x100000001B3ULL;
+    }
+    return h;
   }
-#if defined(__unix__) || defined(__APPLE__)
-  // The rename below may hit disk before the data does; without this
-  // fsync a power loss in the writeback window could replace a previously
-  // good snapshot with a truncated one.
-  if (fsync(fileno(out)) != 0) {
-    std::fclose(out);
-    std::remove(tmp.c_str());
-    return Status::IoError("fsync failed: " + tmp);
-  }
+
+ private:
+  void Mix(const unsigned char* p) {
+    uint64_t chunk = 0;
+    std::memcpy(&chunk, p, 8);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+    chunk = __builtin_bswap64(chunk);
 #endif
-  if (std::fclose(out) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IoError("close failed: " + tmp);
+    h_ ^= chunk;
+    h_ *= 0x100000001B3ULL;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::IoError("cannot rename " + tmp + " to " + path);
+
+  uint64_t h_ = 0;
+  unsigned char pending_[8];
+  size_t pending_len_ = 0;
+};
+
+/// Streams bytes to a stdio file while maintaining the current section's
+/// running checksum and byte count.
+class FileSectionWriter {
+ public:
+  explicit FileSectionWriter(std::FILE* f) : file_(f) {}
+
+  void BeginSection() {
+    hasher_.Reset();
+    section_bytes_ = 0;
   }
-#if defined(__unix__) || defined(__APPLE__)
-  // Best-effort directory sync so the rename itself is durable.
-  const size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash + 1);
-  const int dir_fd = open(dir.c_str(), O_RDONLY);
-  if (dir_fd >= 0) {
-    fsync(dir_fd);
-    close(dir_fd);
+
+  Status Write(const void* data, size_t size) {
+    if (size == 0) return Status::OK();
+    if (std::fwrite(data, 1, size, file_) != size) {
+      return Status::IoError("short write to snapshot file");
+    }
+    hasher_.Update(data, size);
+    section_bytes_ += size;
+    return Status::OK();
   }
-#endif
+
+  Status WriteZeros(size_t size) {
+    static const char zeros[512] = {0};
+    while (size > 0) {
+      const size_t n = std::min(size, sizeof(zeros));
+      FUSER_RETURN_IF_ERROR(Write(zeros, n));
+      size -= n;
+    }
+    return Status::OK();
+  }
+
+  uint64_t section_checksum() const { return hasher_.Finish(); }
+  uint64_t section_bytes() const { return section_bytes_; }
+
+ private:
+  std::FILE* file_;
+  ChainedHasher hasher_;
+  uint64_t section_bytes_ = 0;
+};
+
+/// Streams the v2 DATASET payload (layout `l`, which the caller computed
+/// from this dataset's scalars at the section's final file offset).
+Status WriteDatasetSection(const Dataset& dataset, const DsLayout& l,
+                           const uint64_t scalars[kDsScalars],
+                           const CompactCsrView& providers,
+                           const CompactCsrView& domain_sources,
+                           const CompactCsrView& domain_triples,
+                           FileSectionWriter* w) {
+  FUSER_RETURN_IF_ERROR(w->WriteZeros(l.pad0));
+  FUSER_RETURN_IF_ERROR(w->Write(scalars, kDsScalars * 8));
+  const Span<StringRef> source_refs = dataset.source_name_refs();
+  const Span<StringRef> domain_refs = dataset.domain_name_refs();
+  FUSER_RETURN_IF_ERROR(w->Write(source_refs.data(), source_refs.size() * 8));
+  FUSER_RETURN_IF_ERROR(w->Write(domain_refs.data(), domain_refs.size() * 8));
+  // Meta checksum: everything written so far (pad0 + scalars + refs).
+  uint64_t meta;
+  {
+    const std::string zeros(l.pad0, '\0');
+    ChainedHasher hasher;
+    hasher.Reset();
+    hasher.Update(zeros.data(), zeros.size());
+    hasher.Update(scalars, kDsScalars * 8);
+    hasher.Update(source_refs.data(), source_refs.size() * 8);
+    hasher.Update(domain_refs.data(), domain_refs.size() * 8);
+    meta = hasher.Finish();
+  }
+  FUSER_RETURN_IF_ERROR(w->Write(&meta, 8));
+  FUSER_RETURN_IF_ERROR(
+      w->WriteZeros(l.arena_off - (l.meta_checksum_off + 8)));  // pad1
+
+  Status arena_status = Status::OK();
+  dataset.string_arena().ForEachImageChunk([&](const char* p, size_t n) {
+    if (arena_status.ok()) arena_status = w->Write(p, n);
+  });
+  FUSER_RETURN_IF_ERROR(arena_status);
+
+  const TripleDictionary& dict = dataset.triple_dict();
+  const size_t m = l.num_triples;
+  FUSER_RETURN_IF_ERROR(w->Write(dict.subjects().data(), m * 8));
+  FUSER_RETURN_IF_ERROR(w->Write(dict.predicates().data(), m * 8));
+  FUSER_RETURN_IF_ERROR(w->Write(dict.objects().data(), m * 8));
+  FUSER_RETURN_IF_ERROR(w->Write(providers.offsets, m * 8));
+  FUSER_RETURN_IF_ERROR(
+      w->Write(domain_sources.offsets, l.num_domains * 8));
+  FUSER_RETURN_IF_ERROR(
+      w->Write(domain_triples.offsets, l.num_domains * 8));
+  for (size_t s = 0; s < l.num_sources; ++s) {
+    FUSER_RETURN_IF_ERROR(
+        w->Write(dataset.output(static_cast<SourceId>(s)).words(),
+                 l.words * 8));
+  }
+  for (size_t s = 0; s < l.num_sources; ++s) {
+    FUSER_RETURN_IF_ERROR(
+        w->Write(dataset.covers_bitset(static_cast<SourceId>(s)).words(),
+                 l.domain_words * 8));
+  }
+  FUSER_RETURN_IF_ERROR(w->Write(dataset.true_mask().words(), l.words * 8));
+  FUSER_RETURN_IF_ERROR(
+      w->Write(dataset.labeled_mask().words(), l.words * 8));
+
+  FUSER_RETURN_IF_ERROR(w->Write(dataset.domains_span().data(), m * 4));
+  FUSER_RETURN_IF_ERROR(w->Write(providers.counts, m * 4));
+  FUSER_RETURN_IF_ERROR(w->Write(providers.pool, providers.pool_len * 4));
+  FUSER_RETURN_IF_ERROR(
+      w->Write(domain_sources.counts, l.num_domains * 4));
+  FUSER_RETURN_IF_ERROR(
+      w->Write(domain_sources.pool, domain_sources.pool_len * 4));
+  FUSER_RETURN_IF_ERROR(
+      w->Write(domain_triples.counts, l.num_domains * 4));
+  FUSER_RETURN_IF_ERROR(
+      w->Write(domain_triples.pool, domain_triples.pool_len * 4));
+  FUSER_RETURN_IF_ERROR(w->Write(dataset.labels_span().data(), m));
   return Status::OK();
 }
 
@@ -756,7 +1037,7 @@ struct SectionSpan {
 /// payload checksums are *not* verified here — OpenSection checks each
 /// section right before it is parsed, so attach-mode loads never pay for
 /// reading or hashing the (large) dataset section they skip.
-Status ParseHeader(const std::string& bytes, size_t file_size,
+Status ParseHeader(std::string_view bytes, size_t file_size,
                    std::map<uint32_t, SectionSpan>* sections) {
   if (bytes.size() < kHeaderFixedBytes + 8) {
     return Corrupt("file truncated (no header)");
@@ -813,7 +1094,7 @@ Status ParseHeader(const std::string& bytes, size_t file_size,
 
 /// Returns a checksum-verified ByteSource over one section, or NotFound
 /// when the file has no such section.
-StatusOr<ByteSource> OpenSection(const std::string& bytes,
+StatusOr<ByteSource> OpenSection(std::string_view bytes,
                                  const std::map<uint32_t, SectionSpan>& table,
                                  uint32_t id) {
   auto it = table.find(id);
@@ -831,44 +1112,62 @@ StatusOr<ByteSource> OpenSection(const std::string& bytes,
 }
 
 StatusOr<LoadedSnapshot> LoadImpl(const std::string& path,
-                                  const Dataset* attach) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    return Status::IoError("cannot open snapshot file: " + path);
-  }
-  const std::streamoff stat_size = in.tellg();
-  if (stat_size < 0) {
-    return Status::IoError("cannot stat snapshot file: " + path);
-  }
-  const size_t file_size = static_cast<size_t>(stat_size);
-  in.seekg(0);
+                                  const Dataset* attach, AttachMode mode) {
+  // What we have of the file: a growing prefix (buffered modes) or the
+  // whole mapped file (mmap modes).
+  std::string buffer;
+  std::shared_ptr<MappedFile> mapped;
+  std::string_view bytes;
+  size_t file_size = 0;
 
-  // Read the header and section table first; then read only as far into
-  // the file as the sections this load will actually parse. The DATASET
-  // section is written last precisely so an attach-mode load (WarmStart
-  // over a dataset the process already holds) stops short of it.
-  std::string bytes;
-  FUSER_RETURN_IF_ERROR(
-      ExtendPrefix(in, &bytes, std::min(file_size, kHeaderFixedBytes + 8)));
-  size_t table_end = kHeaderFixedBytes + 8;
-  if (bytes.size() >= kHeaderFixedBytes) {
-    ByteSource counter(bytes.data() + 12, 4);
-    uint32_t section_count = 0;
-    (void)counter.ReadU32(&section_count);
-    if (section_count <= kMaxSections) {
-      table_end = kHeaderFixedBytes + kSectionEntryBytes * section_count + 8;
+  const bool use_mapping = attach == nullptr && mode != AttachMode::kCopy;
+  std::ifstream in;
+  if (use_mapping) {
+    FUSER_ASSIGN_OR_RETURN(mapped, MappedFile::Open(path));
+    bytes = std::string_view(mapped->data(), mapped->size());
+    file_size = mapped->size();
+  } else {
+    in.open(path, std::ios::binary | std::ios::ate);
+    if (!in) {
+      return Status::IoError("cannot open snapshot file: " + path);
     }
+    const std::streamoff stat_size = in.tellg();
+    if (stat_size < 0) {
+      return Status::IoError("cannot stat snapshot file: " + path);
+    }
+    file_size = static_cast<size_t>(stat_size);
+    in.seekg(0);
+    // Read the header and section table first; then read only as far into
+    // the file as the sections this load will actually parse. The DATASET
+    // section is written last precisely so an attach-mode load (WarmStart
+    // over a dataset the process already holds) stops short of it.
+    FUSER_RETURN_IF_ERROR(ExtendPrefix(
+        in, &buffer, std::min(file_size, kHeaderFixedBytes + 8)));
+    size_t table_end = kHeaderFixedBytes + 8;
+    if (buffer.size() >= kHeaderFixedBytes) {
+      ByteSource counter(buffer.data() + 12, 4);
+      uint32_t section_count = 0;
+      (void)counter.ReadU32(&section_count);
+      if (section_count <= kMaxSections) {
+        table_end = kHeaderFixedBytes + kSectionEntryBytes * section_count + 8;
+      }
+    }
+    FUSER_RETURN_IF_ERROR(
+        ExtendPrefix(in, &buffer, std::min(file_size, table_end)));
+    bytes = buffer;
   }
-  FUSER_RETURN_IF_ERROR(
-      ExtendPrefix(in, &bytes, std::min(file_size, table_end)));
+
   std::map<uint32_t, SectionSpan> table;
   FUSER_RETURN_IF_ERROR(ParseHeader(bytes, file_size, &table));
-  size_t needed_end = bytes.size();
-  for (const auto& [id, span] : table) {
-    if (attach != nullptr && id == kSectionDataset) continue;
-    needed_end = std::max(needed_end, span.offset + span.size);
+  if (!use_mapping) {
+    size_t needed_end = buffer.size();
+    for (const auto& [id, span] : table) {
+      if (attach != nullptr && id == kSectionDataset) continue;
+      needed_end = std::max(needed_end, span.offset + span.size);
+    }
+    FUSER_RETURN_IF_ERROR(ExtendPrefix(in, &buffer, needed_end));
+    bytes = buffer;
   }
-  FUSER_RETURN_IF_ERROR(ExtendPrefix(in, &bytes, needed_end));
 
   FUSER_ASSIGN_OR_RETURN(ByteSource engine_src,
                          OpenSection(bytes, table, kSectionEngine));
@@ -902,14 +1201,38 @@ StatusOr<LoadedSnapshot> LoadImpl(const std::string& path,
           "(content fingerprint mismatch)");
     }
   } else {
-    FUSER_ASSIGN_OR_RETURN(ByteSource dataset_src,
-                           OpenSection(bytes, table, kSectionDataset));
-    FUSER_ASSIGN_OR_RETURN(loaded.dataset,
-                           DecodeDatasetSection(dataset_src, engine));
-    dataset = loaded.dataset.get();
-    if (dataset->ContentFingerprint() != engine.dataset_fingerprint) {
+    auto it = table.find(kSectionDataset);
+    if (it == table.end()) {
+      return Status::NotFound("snapshot has no section " +
+                              std::to_string(kSectionDataset));
+    }
+    const SectionSpan& span = it->second;
+    // kCopy and kMmapVerify hash the whole section; kMmap trusts the meta
+    // checksum inside the payload (that is the point of the mode).
+    if (mode != AttachMode::kMmap &&
+        Checksum64(bytes.data() + span.offset, span.size) != span.checksum) {
+      return Corrupt("checksum mismatch in section " +
+                     std::to_string(kSectionDataset));
+    }
+    DatasetColumns cols;
+    FUSER_RETURN_IF_ERROR(ParseDatasetColumns(
+        bytes.data() + span.offset, span.size, span.offset, &cols));
+    if (cols.version != engine.dataset_version ||
+        cols.num_triples != engine.num_triples ||
+        cols.num_sources != engine.num_sources ||
+        cols.num_domains != engine.num_domains) {
+      return Corrupt("dataset section disagrees with engine state");
+    }
+    if (mode != AttachMode::kMmap) {
+      FUSER_RETURN_IF_ERROR(ValidateDatasetColumns(cols));
+    }
+    loaded.dataset = Dataset::FromColumns(cols, /*borrow=*/use_mapping,
+                                          /*keepalive=*/mapped);
+    if (mode != AttachMode::kMmap &&
+        loaded.dataset->ContentFingerprint() != engine.dataset_fingerprint) {
       return Corrupt("re-materialized dataset fingerprint mismatch");
     }
+    dataset = loaded.dataset.get();
   }
 
   auto snapshot = std::make_shared<FusionSnapshot>();
@@ -987,48 +1310,158 @@ Status SaveSnapshot(const std::string& path, const Dataset& dataset,
     return Status::InvalidArgument("snapshot grouping size mismatch");
   }
 
-  // The DATASET section goes last: warm starts over an already-loaded
-  // dataset (FusionEngine::WarmStart) read only the file prefix up to it.
-  std::vector<std::pair<uint32_t, std::string>> sections;
-  sections.emplace_back(kSectionEngine,
-                        EncodeEngineSection(dataset, train_mask, snapshot));
+  // Small sections are assembled in memory; the DATASET section — the
+  // bulk of the file — is streamed straight from the dataset's columns,
+  // so saving never materializes a second copy of the corpus. It goes
+  // last: warm starts over an already-loaded dataset (FusionEngine::
+  // WarmStart) read only the file prefix up to it.
+  std::vector<std::pair<uint32_t, std::string>> small_sections;
+  small_sections.emplace_back(
+      kSectionEngine, EncodeEngineSection(dataset, train_mask, snapshot));
   if (snapshot.model != nullptr) {
     FUSER_ASSIGN_OR_RETURN(std::string model_bytes,
                            EncodeModelSection(*snapshot.model));
-    sections.emplace_back(kSectionModel, std::move(model_bytes));
+    small_sections.emplace_back(kSectionModel, std::move(model_bytes));
   }
   if (snapshot.grouping != nullptr) {
-    sections.emplace_back(kSectionGrouping,
-                          EncodeGroupingSection(*snapshot.grouping));
+    small_sections.emplace_back(kSectionGrouping,
+                                EncodeGroupingSection(*snapshot.grouping));
   }
   if (!snapshot.serving.empty()) {
-    sections.emplace_back(kSectionServing, EncodeServingSection(snapshot));
+    small_sections.emplace_back(kSectionServing,
+                                EncodeServingSection(snapshot));
   }
-  sections.emplace_back(kSectionDataset, EncodeDatasetSection(dataset));
 
-  ByteSink file;
-  file.WriteRaw(kMagic, sizeof(kMagic));
-  file.WriteU32(kSnapshotFormatVersion);
-  file.WriteU32(static_cast<uint32_t>(sections.size()));
-  size_t offset = kHeaderFixedBytes + kSectionEntryBytes * sections.size() + 8;
-  for (const auto& [id, payload] : sections) {
-    file.WriteU32(id);
-    file.WriteU32(0);  // reserved
-    file.WriteU64(offset);
-    file.WriteU64(payload.size());
-    file.WriteU64(Checksum64(payload.data(), payload.size()));
-    offset += payload.size();
-  }
-  file.WriteU64(Checksum64(file.data().data(), file.size()));
-  for (const auto& [id, payload] : sections) {
+  const size_t num_sections = small_sections.size() + 1;
+  const size_t header_end =
+      kHeaderFixedBytes + kSectionEntryBytes * num_sections + 8;
+  uint64_t dataset_offset = header_end;
+  for (const auto& [id, payload] : small_sections) {
     (void)id;
-    file.WriteRaw(payload.data(), payload.size());
+    dataset_offset += payload.size();
   }
-  return WriteFileAtomic(path, file.data());
+
+  const CompactCsrView providers = MakeCompactView(dataset.providers_table());
+  const CompactCsrView domain_sources =
+      MakeCompactView(dataset.domain_sources_table());
+  const CompactCsrView domain_triples =
+      MakeCompactView(dataset.domain_triples_table());
+  const StringArena& arena = dataset.string_arena();
+  const uint64_t scalars[kDsScalars] = {
+      dataset.version(),         dataset.num_sources(),
+      dataset.num_domains(),     dataset.num_triples(),
+      arena.image_bytes(),       arena.chunk_bytes(),
+      providers.pool_len,        domain_sources.pool_len,
+      domain_triples.pool_len};
+  DsLayout layout;
+  FUSER_RETURN_IF_ERROR(ComputeDsLayout(dataset_offset, scalars, &layout));
+
+  auto build_header = [&](uint64_t dataset_checksum) {
+    ByteSink header;
+    header.WriteRaw(kMagic, sizeof(kMagic));
+    header.WriteU32(kSnapshotFormatVersion);
+    header.WriteU32(static_cast<uint32_t>(num_sections));
+    uint64_t offset = header_end;
+    for (const auto& [id, payload] : small_sections) {
+      header.WriteU32(id);
+      header.WriteU32(0);  // reserved
+      header.WriteU64(offset);
+      header.WriteU64(payload.size());
+      header.WriteU64(Checksum64(payload.data(), payload.size()));
+      offset += payload.size();
+    }
+    header.WriteU32(kSectionDataset);
+    header.WriteU32(0);  // reserved
+    header.WriteU64(dataset_offset);
+    header.WriteU64(layout.total);
+    header.WriteU64(dataset_checksum);
+    header.WriteU64(Checksum64(header.data().data(), header.size()));
+    return header.data();
+  };
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) {
+    return Status::IoError("cannot open for writing: " + tmp);
+  }
+  auto fail = [&](Status status) {
+    std::fclose(out);
+    std::remove(tmp.c_str());
+    return status;
+  };
+
+  // Pass 1: header with a placeholder dataset checksum, the small
+  // payloads, then the streamed dataset payload (checksummed on the way
+  // out). Pass 2 seeks back and rewrites the header with the real value.
+  FileSectionWriter writer(out);
+  writer.BeginSection();
+  const std::string placeholder_header = build_header(0);
+  Status status = writer.Write(placeholder_header.data(),
+                               placeholder_header.size());
+  for (const auto& [id, payload] : small_sections) {
+    (void)id;
+    if (!status.ok()) break;
+    status = writer.Write(payload.data(), payload.size());
+  }
+  if (!status.ok()) return fail(status);
+  writer.BeginSection();
+  status = WriteDatasetSection(dataset, layout, scalars, providers,
+                               domain_sources, domain_triples, &writer);
+  if (!status.ok()) return fail(status);
+  if (writer.section_bytes() != layout.total) {
+    return fail(Status::Internal("dataset section size accounting bug"));
+  }
+
+  const std::string final_header = build_header(writer.section_checksum());
+  if (std::fseek(out, 0, SEEK_SET) != 0 ||
+      std::fwrite(final_header.data(), 1, final_header.size(), out) !=
+          final_header.size()) {
+    return fail(Status::IoError("header rewrite failed: " + tmp));
+  }
+  if (std::fflush(out) != 0) {
+    return fail(Status::IoError("flush failed: " + tmp));
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // The rename below may hit disk before the data does; without this
+  // fsync a power loss in the writeback window could replace a previously
+  // good snapshot with a truncated one.
+  if (fsync(fileno(out)) != 0) {
+    return fail(Status::IoError("fsync failed: " + tmp));
+  }
+#endif
+  if (std::fclose(out) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Best-effort directory sync so the rename itself is durable.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int dir_fd = open(dir.c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    fsync(dir_fd);
+    close(dir_fd);
+  }
+#endif
+  return Status::OK();
 }
 
 StatusOr<LoadedSnapshot> LoadSnapshot(const std::string& path) {
-  return LoadImpl(path, nullptr);
+  const char* force = std::getenv("FUSER_FORCE_MMAP_ATTACH");
+  if (force != nullptr && std::string_view(force) == "1") {
+    return LoadImpl(path, nullptr, AttachMode::kMmapVerify);
+  }
+  return LoadImpl(path, nullptr, AttachMode::kCopy);
+}
+
+StatusOr<LoadedSnapshot> LoadSnapshot(const std::string& path,
+                                      const LoadOptions& options) {
+  return LoadImpl(path, nullptr, options.attach);
 }
 
 StatusOr<LoadedSnapshot> LoadSnapshotFor(const std::string& path,
@@ -1036,7 +1469,7 @@ StatusOr<LoadedSnapshot> LoadSnapshotFor(const std::string& path,
   if (!dataset.finalized()) {
     return Status::FailedPrecondition("dataset must be finalized");
   }
-  return LoadImpl(path, &dataset);
+  return LoadImpl(path, &dataset, AttachMode::kCopy);
 }
 
 }  // namespace fuser

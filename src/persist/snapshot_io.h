@@ -50,7 +50,35 @@ namespace fuser {
 
 /// Bumped on any incompatible layout change; LoadSnapshot refuses files
 /// from other versions (InvalidArgument, never a misparse).
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// Version 2: the DATASET section became a columnar aligned-span image
+/// (arena bytes + raw ref/CSR/bitset arrays) that loads with bulk copies
+/// or attaches zero-copy via mmap.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+
+/// How LoadSnapshot materializes the (large) DATASET section.
+enum class AttachMode {
+  /// Bulk-copy every column into owned memory; the full section checksum
+  /// and the dataset content fingerprint are verified. The default.
+  kCopy,
+  /// Zero-copy: mmap the file and bind the dataset's columns to the
+  /// mapping (copy-on-write — the first ApplyBatch promotes whatever it
+  /// touches to owned memory). Only the section's meta checksum (sizes +
+  /// name refs) is verified, skipping all O(num_triples) work: this is
+  /// the trusted fast path whose time-to-servable stays in milliseconds
+  /// at tens of millions of triples. The snapshot file must outlive the
+  /// returned dataset (a private mapping pins the inode, so replacing
+  /// the path via SaveSnapshot's atomic rename is safe; truncating or
+  /// rewriting the file in place is not).
+  kMmap,
+  /// Like kMmap, but additionally verifies the full section checksum and
+  /// the content fingerprint over the mapped bytes — attach semantics
+  /// with kCopy-grade corruption detection.
+  kMmapVerify,
+};
+
+struct LoadOptions {
+  AttachMode attach = AttachMode::kCopy;
+};
 
 /// Everything LoadSnapshot re-materializes from a file. `snapshot` is a
 /// fully servable FusionSnapshot (model/grouping/serving attached) whose
@@ -78,8 +106,15 @@ Status SaveSnapshot(const std::string& path, const Dataset& dataset,
                     const FusionSnapshot& snapshot);
 
 /// Reads a snapshot file, re-materializing the dataset and every saved
-/// component. All sections are parsed and checksum-verified.
+/// component. All sections are parsed and checksum-verified. Honors the
+/// FUSER_FORCE_MMAP_ATTACH=1 environment variable by loading as if
+/// `options.attach == AttachMode::kMmapVerify` (CI uses this to run the
+/// whole suite over attached datasets).
 StatusOr<LoadedSnapshot> LoadSnapshot(const std::string& path);
+
+/// Reads a snapshot file with an explicit dataset attach mode.
+StatusOr<LoadedSnapshot> LoadSnapshot(const std::string& path,
+                                      const LoadOptions& options);
 
 /// Attach-mode load for warm-starting over a dataset the process already
 /// holds (FusionEngine::WarmStart(path) uses this): the DATASET section is

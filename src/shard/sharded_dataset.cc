@@ -37,7 +37,7 @@ std::shared_ptr<const ShardMap> ShardMapBuilder::Snapshot() const {
 
 // ---- Key encoding --------------------------------------------------------
 
-void EncodeTripleKey(const Triple& triple, std::string* key) {
+void EncodeTripleKey(const TripleView& triple, std::string* key) {
   key->clear();
   key->reserve(triple.subject.size() + triple.predicate.size() +
                triple.object.size() + 2);
@@ -166,13 +166,13 @@ StatusOr<ShardedCorpus> ShardedCorpus::FromShards(
   return corpus;
 }
 
-SourceId ShardedCorpus::AddSource(const std::string& name) {
+SourceId ShardedCorpus::AddSource(std::string_view name) {
   const SourceId id = static_cast<SourceId>(source_index_.size());
   for (auto& shard : shards_) {
     const SourceId local = shard->AddSource(name);
     FUSER_CHECK_EQ(local, id);
   }
-  source_index_.emplace(name, id);
+  source_index_.emplace(std::string(name), id);
   return id;
 }
 
@@ -187,8 +187,8 @@ TripleId ShardedCorpus::InternGlobal(std::string_view key, uint32_t shard,
   return global;
 }
 
-TripleId ShardedCorpus::AddTriple(const Triple& triple,
-                                  const std::string& domain) {
+TripleId ShardedCorpus::AddTriple(const TripleView& triple,
+                                  std::string_view domain) {
   std::string key;
   EncodeTripleKey(triple, &key);
   auto it = index_.find(key);
@@ -221,7 +221,7 @@ Status ShardedCorpus::Finalize() {
   return Status::OK();
 }
 
-TripleId ShardedCorpus::Find(const Triple& triple) const {
+TripleId ShardedCorpus::Find(const TripleView& triple) const {
   std::string key;
   EncodeTripleKey(triple, &key);
   auto it = index_.find(key);

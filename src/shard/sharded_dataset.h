@@ -110,7 +110,7 @@ struct RoutedBatch {
 
 /// Encodes a triple as a single index key (fields joined by 0x1f, which
 /// cannot appear in a field without also changing the triple's text).
-void EncodeTripleKey(const Triple& triple, std::string* key);
+void EncodeTripleKey(const TripleView& triple, std::string* key);
 
 class ShardedCorpus {
  public:
@@ -143,8 +143,8 @@ class ShardedCorpus {
 
   // ---- Construction (before Finalize), mirroring Dataset ----
 
-  SourceId AddSource(const std::string& name);
-  TripleId AddTriple(const Triple& triple, const std::string& domain = "");
+  SourceId AddSource(std::string_view name);
+  TripleId AddTriple(const TripleView& triple, std::string_view domain = {});
   void Provide(SourceId source, TripleId global);
   void SetLabel(TripleId global, bool is_true);
   Status Finalize();
@@ -166,7 +166,7 @@ class ShardedCorpus {
   }
 
   /// Global id of `triple`, or kInvalidTriple.
-  TripleId Find(const Triple& triple) const;
+  TripleId Find(const TripleView& triple) const;
 
   /// Immutable map view for a published snapshot.
   std::shared_ptr<const ShardMap> SnapshotMap() const {

@@ -29,10 +29,11 @@ ObservationBatch BatchForRange(const Dataset& full, TripleId lo,
                                TripleId hi) {
   ObservationBatch batch;
   for (TripleId t = lo; t < hi && t < full.num_triples(); ++t) {
-    const Triple& triple = full.triple(t);
-    const std::string& domain = full.domain_name(full.domain(t));
+    const Triple triple(full.triple(t));
+    const std::string domain(full.domain_name(full.domain(t)));
     for (SourceId s : full.providers(t)) {
-      batch.observations.push_back({full.source_name(s), triple, domain});
+      batch.observations.push_back(
+          {std::string(full.source_name(s)), triple, domain});
     }
     if (full.label(t) != Label::kUnknown) {
       batch.labels.push_back({triple, full.label(t) == Label::kTrue});

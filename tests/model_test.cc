@@ -7,6 +7,7 @@
 #include "model/dataset_io.h"
 #include "model/split.h"
 #include "model/triple.h"
+#include "synth/generator.h"
 
 namespace fuser {
 namespace {
@@ -27,7 +28,9 @@ TEST(TripleTest, HashSeparatesFields) {
 }
 
 TEST(TripleDictionaryTest, InternsAndLooksUp) {
+  StringInterner strings;
   TripleDictionary dict;
+  dict.BindInterner(&strings);
   TripleId a = dict.Intern({"s", "p", "o"});
   TripleId b = dict.Intern({"s", "p", "o2"});
   EXPECT_NE(a, b);
@@ -318,6 +321,49 @@ TEST(SplitTest, RejectsBadFraction) {
   Rng rng(1);
   EXPECT_FALSE(StratifiedSplit(d, 1.5, &rng).ok());
   EXPECT_FALSE(StratifiedSplit(d, -0.1, &rng).ok());
+}
+
+TEST(DatasetMemoryTest, ColumnarLayoutAtLeastHalvesTheLegacyFootprint) {
+  // The layout this PR replaced stored every triple's strings in two
+  // owning copies (the id -> Triple vector and the unordered_map key — the
+  // double-store), plus one heap vector per provider list. Account for
+  // that layout analytically with strict lower bounds (libstdc++ sizes:
+  // 32-byte std::string, 24-byte vector header, hash node of next pointer
+  // + cached hash + mapped id, one bucket pointer per element) and require
+  // the columnar arena-backed dataset to come in at less than half of it.
+  SyntheticConfig config = MakeIndependentConfig(
+      /*num_sources=*/10, /*num_triples=*/30000, /*fraction_true=*/0.4,
+      /*precision=*/0.7, /*recall=*/0.45, /*seed=*/101);
+  config.num_domains = 16;
+  auto dataset = GenerateSynthetic(config);
+  ASSERT_TRUE(dataset.ok()) << dataset.status();
+  const Dataset& ds = *dataset;
+  const size_t m = ds.num_triples();
+  ASSERT_GT(m, 10000u);
+
+  size_t legacy_lower_bound = 0;
+  legacy_lower_bound += m * 2 * sizeof(Triple);  // vector slot + map key
+  legacy_lower_bound += m * 32;                  // hash node + bucket
+  size_t string_heap = 0;
+  for (TripleId t = 0; t < m; ++t) {
+    const TripleView v = ds.triple(t);
+    // Strings beyond the 15-byte SSO buffer heap-allocate — twice.
+    for (std::string_view field : {v.subject, v.predicate, v.object}) {
+      if (field.size() > 15) string_heap += 2 * (field.size() + 1);
+    }
+    legacy_lower_bound += 24 + sizeof(SourceId) * ds.providers(t).size();
+  }
+  legacy_lower_bound += string_heap;
+  legacy_lower_bound += m * (sizeof(DomainId) + 1);  // domains + labels
+
+  const DatasetMemoryStats stats = ds.MemoryStats();
+  ASSERT_GT(stats.total_bytes, 0u);
+  const double reduction = static_cast<double>(legacy_lower_bound) /
+                           static_cast<double>(stats.total_bytes);
+  EXPECT_GE(reduction, 2.0)
+      << "columnar layout is " << stats.total_bytes / m
+      << " bytes/triple vs a legacy lower bound of " << legacy_lower_bound / m
+      << " bytes/triple";
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 //     Status — InvalidArgument-style, with no crash and no UB. The
 //     byte-flip sweep runs under the CI ASan job.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <utility>
@@ -540,7 +541,9 @@ TEST_F(PersistCorruptionTest, SaveRefusesAStaleSnapshot) {
   ASSERT_NE(snapshot, nullptr);
   ObservationBatch batch;
   batch.observations.push_back(
-      {mutated.source_name(0), {"another-new", "p", "o"}, "dom0"});
+      {std::string(mutated.source_name(0)),
+       {"another-new", "p", "o"},
+       "dom0"});
   ASSERT_TRUE(writer.Update(batch).ok());
   // The pinned snapshot predates the batch; persisting it against the
   // moved-on dataset would save inconsistent state.
@@ -548,6 +551,145 @@ TEST_F(PersistCorruptionTest, SaveRefusesAStaleSnapshot) {
                               writer.train_mask(), *snapshot);
   ASSERT_FALSE(saved.ok());
   EXPECT_EQ(saved.code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy mmap attach.
+// ---------------------------------------------------------------------------
+
+/// Reuses the corruption fixture's saved snapshot (scoped model over a
+/// domain-bearing dataset) for the attach-mode contracts.
+class MmapAttachTest : public PersistCorruptionTest {
+ protected:
+  /// (offset, size) of the DATASET section, read from the section table.
+  std::pair<size_t, size_t> DatasetSpan() const {
+    uint32_t count = 0;
+    std::memcpy(&count, bytes_.data() + 12, sizeof(count));
+    for (uint32_t i = 0; i < count; ++i) {
+      const char* entry = bytes_.data() + 16 + i * 32;
+      uint32_t id = 0;
+      std::memcpy(&id, entry, sizeof(id));
+      if (id != 2) continue;  // DATASET
+      uint64_t offset = 0, size = 0;
+      std::memcpy(&offset, entry + 8, sizeof(offset));
+      std::memcpy(&size, entry + 16, sizeof(size));
+      return {static_cast<size_t>(offset), static_cast<size_t>(size)};
+    }
+    ADD_FAILURE() << "no DATASET section in the saved snapshot";
+    return {0, 0};
+  }
+};
+
+TEST_F(MmapAttachTest, AttachedScoresMatchOwned) {
+  EngineOptions options;
+  options.model.use_scopes = true;
+  auto reference = engine_->RunAll(Lineup());
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  for (AttachMode mode : {AttachMode::kMmap, AttachMode::kMmapVerify}) {
+    auto loaded = LoadSnapshot(path_, LoadOptions{mode});
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    ASSERT_NE(loaded->dataset, nullptr);
+    EXPECT_TRUE(loaded->dataset->attached());
+    const DatasetMemoryStats stats = loaded->dataset->MemoryStats();
+    EXPECT_STREQ(stats.storage_mode, "mmap");
+    EXPECT_GT(stats.mapped_bytes, 0u);
+    FusionEngine warm(loaded->dataset.get(), options);
+    ASSERT_TRUE(warm.WarmStart(*loaded).ok());
+    auto runs = warm.RunAll(Lineup());
+    ASSERT_TRUE(runs.ok()) << runs.status();
+    ExpectRunsIdentical(*reference, *runs);
+  }
+}
+
+TEST_F(MmapAttachTest, UpdateAfterAttachEqualsFreshPrepare) {
+  // Streaming onto an attached dataset: copy-on-write promotion must leave
+  // the scores byte-identical to a fresh Prepare + the same Update over an
+  // owned (kCopy) dataset.
+  EngineOptions options;
+  options.model.use_scopes = true;
+  auto copy_loaded = LoadSnapshot(path_, LoadOptions{AttachMode::kCopy});
+  auto mmap_loaded = LoadSnapshot(path_, LoadOptions{AttachMode::kMmap});
+  ASSERT_TRUE(copy_loaded.ok() && mmap_loaded.ok());
+
+  ObservationBatch batch;
+  batch.observations.push_back({std::string(ds_.source_name(1)),
+                                Triple(ds_.triple(2)),
+                                std::string(ds_.domain_name(ds_.domain(2)))});
+  batch.observations.push_back(
+      {"attach-new-source", {"attach-new", "p", "o"}, "attach-new-domain"});
+  batch.labels.push_back({Triple(ds_.triple(5)), true});
+
+  FusionEngine fresh(copy_loaded->dataset.get(), options);
+  ASSERT_TRUE(fresh.Prepare(copy_loaded->train_mask).ok());
+  ASSERT_TRUE(fresh.Update(batch).ok());
+
+  const size_t owned_before = mmap_loaded->dataset->MemoryStats().owned_bytes;
+  FusionEngine warm(mmap_loaded->dataset.get(), options);
+  ASSERT_TRUE(warm.WarmStart(*mmap_loaded).ok());
+  ASSERT_TRUE(warm.Update(batch).ok());
+  const DatasetMemoryStats after = mmap_loaded->dataset->MemoryStats();
+  EXPECT_GT(after.owned_bytes, owned_before)
+      << "Update must promote the structures it grows to owned memory";
+  EXPECT_EQ(std::string(after.storage_mode).substr(0, 4), "mmap");
+
+  auto a = fresh.RunAll(Lineup());
+  auto b = warm.RunAll(Lineup());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectRunsIdentical(*a, *b);
+}
+
+TEST_F(MmapAttachTest, TruncatedMappedDatasetRejected) {
+  const auto [ds_off, ds_size] = DatasetSpan();
+  ASSERT_GT(ds_size, 0u);
+  for (size_t cut : {bytes_.size() - 1, ds_off + ds_size / 2, ds_off + 8}) {
+    const std::string path = WriteVariant(bytes_.substr(0, cut));
+    for (AttachMode mode : {AttachMode::kMmap, AttachMode::kMmapVerify}) {
+      auto loaded = LoadSnapshot(path, LoadOptions{mode});
+      EXPECT_FALSE(loaded.ok()) << "truncated to " << cut << " bytes";
+      EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST_F(MmapAttachTest, FlippedMappedDatasetRejected) {
+  const auto [ds_off, ds_size] = DatasetSpan();
+  ASSERT_GT(ds_size, 0u);
+  // Deep in the column payload: only the full section checksum sees it.
+  std::string payload_flip = bytes_;
+  payload_flip[ds_off + ds_size * 3 / 4] ^= 0x40;
+  auto verified =
+      LoadSnapshot(WriteVariant(payload_flip), LoadOptions{AttachMode::kMmapVerify});
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.status().code(), StatusCode::kInvalidArgument);
+  // In the scalar/meta prefix: even the trusted kMmap fast path must
+  // reject it (meta checksum or layout validation).
+  std::string meta_flip = bytes_;
+  meta_flip[ds_off + 16] ^= 0x04;
+  auto attached =
+      LoadSnapshot(WriteVariant(meta_flip), LoadOptions{AttachMode::kMmap});
+  ASSERT_FALSE(attached.ok());
+  EXPECT_EQ(attached.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MmapAttachTest, OldFormatSnapshotIsAVersionedError) {
+  // A v1-era header (the pre-columnar row codec) must fail up front with
+  // both versions named — not a misparse of the old DATASET encoding.
+  std::string old = bytes_;
+  old[8] = 1;
+  old[9] = old[10] = old[11] = 0;
+  for (AttachMode mode :
+       {AttachMode::kCopy, AttachMode::kMmap, AttachMode::kMmapVerify}) {
+    auto loaded = LoadSnapshot(WriteVariant(old), LoadOptions{mode});
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(
+        loaded.status().message().find("unsupported snapshot format version 1"),
+        std::string::npos)
+        << loaded.status();
+    EXPECT_NE(loaded.status().message().find("reads version 2"),
+              std::string::npos)
+        << loaded.status();
+  }
 }
 
 }  // namespace

@@ -132,8 +132,8 @@ TEST(FusionServiceTest, AdHocObservationMirrorsExistingTriple) {
       for (TripleId t = 0; t < d->num_triples();
            t += static_cast<TripleId>(d->num_triples() / 23 + 1)) {
         AdHocObservation obs;
-        obs.providers = d->providers(t);
-        obs.in_scope = d->in_scope_sources(t);
+        obs.providers = d->providers(t).ToVector();
+        obs.in_scope = d->in_scope_sources(t).ToVector();
         auto adhoc = service.ScoreObservation(**snapshot, spec, obs);
         ASSERT_TRUE(adhoc.ok()) << spec.Name() << ": " << adhoc.status();
         auto direct = service.Score(**snapshot, spec, t);

@@ -180,8 +180,8 @@ void StreamingEquivalence(Variant variant, uint32_t num_shards,
   batch.observations.push_back(
       {"source-0", {"etc1", "attr", "x1"}, "fresh-domain"});
   batch.observations.push_back(
-      {"brand-new-source", final_ds.triple(0), final_ds.domain_name(
-                                                   final_ds.domain(0))});
+      {"brand-new-source", final_ds.triple(0),
+       std::string(final_ds.domain_name(final_ds.domain(0)))});
   batch.labels.push_back({{"etc1", "attr", "x1"}, true});
   TripleId unlabeled = kInvalidTriple;
   for (TripleId t = 0; t < total; ++t) {

@@ -214,8 +214,8 @@ TEST(StreamingUpdateTest, ProvideOnExistingTrainTripleStaysIncremental) {
 
   ObservationBatch batch;
   batch.observations.push_back(
-      {ds.source_name(newcomer), ds.triple(target),
-       ds.domain_name(ds.domain(target))});
+      {std::string(ds.source_name(newcomer)), ds.triple(target),
+       std::string(ds.domain_name(ds.domain(target)))});
   ASSERT_TRUE(streaming.Update(batch).ok());
   EXPECT_EQ(streaming.full_invalidations(), 0u);
   EXPECT_EQ(streaming.pattern_grouping_builds(), 1u);
@@ -378,7 +378,8 @@ TEST(StreamingUpdateTest, OutOfBandMutationDetected) {
   ASSERT_TRUE(engine.Run({MethodKind::kPrecRecCorr}).ok());
 
   ObservationBatch batch;
-  batch.observations.push_back({d->source_name(0), {"oob", "p", "v"}, ""});
+  batch.observations.push_back(
+      {std::string(d->source_name(0)), {"oob", "p", "v"}, ""});
   DatasetDelta delta;
   ASSERT_TRUE(d->ApplyBatch(batch, &delta).ok());  // behind the engine's back
   EXPECT_EQ(engine.Run({MethodKind::kPrecRecCorr}).status().code(),
