@@ -4,6 +4,8 @@
 //   fuser_cli <observations.tsv> <gold.tsv> <method> [options]
 //   fuser_cli <observations.tsv> <gold.tsv> --discover[=top_n] [--approx]
 //   fuser_cli --load=SNAPSHOT <method> [options]
+//   fuser_cli --load=SNAPSHOT --serve=PORT [--shards=K]
+//   fuser_cli --client=[HOST:]PORT [method]
 //     method:  any method registered in the MethodRegistry, or "runall"
 //              (score the full registry lineup over one shared model and
 //              pattern grouping); run with --help for the lineup
@@ -22,6 +24,13 @@
 //              --approx[=K] (discover with the bottom-K correlation sketch
 //                           + exact-oracle rescore instead of the exact
 //                           O(S^2 * m) pass)
+//              --serve=PORT (serve the warm-started snapshot over TCP on
+//                           127.0.0.1; port 0 picks an ephemeral port,
+//                           announced as "listening on port N"; SIGTERM or
+//                           SIGINT drains and exits 0; requires --load)
+//              --client=[HOST:]PORT (probe a running --serve process:
+//                           Stats + a small ScoreBatch + a Score
+//                           cross-check, then exit)
 //
 // Unknown flags are an error (exit code 2), not silently ignored. Prints
 // evaluation metrics on the gold standard, one machine-parseable JSON
@@ -29,11 +38,13 @@
 // (optionally) writes per-triple probabilities.
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/csv.h"
@@ -42,13 +53,23 @@
 #include "core/engine.h"
 #include "model/dataset_io.h"
 #include "model/split.h"
+#include "net/fusion_client.h"
+#include "net/fusion_server.h"
+#include "net/scoring_backend.h"
 #include "persist/snapshot_io.h"
+#include "serving/fusion_service.h"
 #include "shard/partition.h"
 #include "shard/sharded_dataset.h"
 #include "shard/sharded_engine.h"
+#include "shard/sharded_service.h"
 #include "stats/correlation_sketch.h"
 
 namespace {
+
+/// Set by SIGINT/SIGTERM so --serve can drain and exit cleanly.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void HandleStopSignal(int) { g_stop_requested = 1; }
 
 /// The registered method lineup, e.g. "union-K | 3estimates | ... |
 /// elastic-L"; the CLI accepts whatever the registry knows about.
@@ -67,6 +88,8 @@ void Usage(const char* argv0, std::FILE* out) {
       out,
       "usage: %s <observations.tsv> <gold.tsv> <method> [options]\n"
       "       %s --load=SNAPSHOT <method> [options]\n"
+      "       %s --load=SNAPSHOT --serve=PORT [--shards=K]\n"
+      "       %s --client=[HOST:]PORT [method]\n"
       "  method: %s | runall\n"
       "options:\n"
       "  --alpha=A           a priori probability Pr(t) (default 0.5)\n"
@@ -104,8 +127,20 @@ void Usage(const char* argv0, std::FILE* out) {
       "                      dataset section: copy (default), mmap\n"
       "                      (zero-copy attach), or mmap-verify (attach +\n"
       "                      full checksum)\n"
+      "  --serve=PORT        serve the warm-started snapshot over TCP on\n"
+      "                      127.0.0.1 (binary wire protocol, src/net/);\n"
+      "                      PORT 0 picks an ephemeral port, announced on\n"
+      "                      stdout as \"listening on port N\"; requires\n"
+      "                      --load (with --shards=K the K shards serve\n"
+      "                      behind the same port); SIGTERM/SIGINT drains\n"
+      "                      in-flight requests and exits 0\n"
+      "  --client=[HOST:]PORT probe a running --serve process: Stats, a\n"
+      "                      small ScoreBatch, and a Score cross-checked\n"
+      "                      against the batch (HOST defaults to\n"
+      "                      127.0.0.1; optional positional method name,\n"
+      "                      default precrec-corr)\n"
       "  --help              this message\n",
-      argv0, argv0, MethodLineup().c_str());
+      argv0, argv0, argv0, argv0, MethodLineup().c_str());
 }
 
 /// NaN-safe JSON number (AUCs are NaN on single-class eval masks; JSON has
@@ -189,6 +224,10 @@ int main(int argc, char** argv) {
   bool runall = false;
   bool discover = false;
   bool stats_mode = false;
+  bool serve_mode = false;
+  size_t serve_port = 0;
+  std::string client_addr;
+  bool client_mode = false;
   std::string attach_flag;
   size_t shards = 0;  // 0 = unsharded
   size_t discover_top_n = 5;
@@ -262,6 +301,19 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--stats") {
       stats_mode = true;
+    } else if (StartsWith(arg, "--serve=")) {
+      serve_mode = true;
+      if (!ParseSizeT(arg.substr(8), &serve_port) || serve_port > 65535) {
+        std::fprintf(stderr, "bad value in: %s\n", arg.c_str());
+        return 2;
+      }
+    } else if (StartsWith(arg, "--client=")) {
+      client_mode = true;
+      client_addr = arg.substr(9);
+      if (client_addr.empty()) {
+        std::fprintf(stderr, "bad value in: %s\n", arg.c_str());
+        return 2;
+      }
     } else if (StartsWith(arg, "--attach=")) {
       attach_flag = arg.substr(9);
       if (attach_flag != "copy" && attach_flag != "mmap" &&
@@ -307,6 +359,32 @@ int main(int argc, char** argv) {
                  "--stats cannot be combined with --discover or --shards\n");
     return 2;
   }
+  if (client_mode &&
+      (serve_mode || load_mode || discover || stats_mode || shards > 0)) {
+    std::fprintf(stderr,
+                 "--client probes a running server and takes no other "
+                 "mode flags (see --help)\n");
+    return 2;
+  }
+  if (serve_mode) {
+    if (!load_mode) {
+      std::fprintf(stderr,
+                   "--serve requires --load: the served snapshot is the "
+                   "warm-start file (see --help)\n");
+      return 2;
+    }
+    if (discover || stats_mode) {
+      std::fprintf(stderr,
+                   "--serve cannot be combined with --discover or --stats "
+                   "(see --help)\n");
+      return 2;
+    }
+    if (!out_path.empty() || !save_path.empty()) {
+      std::fprintf(stderr,
+                   "--serve cannot be combined with --out or --save\n");
+      return 2;
+    }
+  }
   if (shards > 0) {
     if (discover) {
       std::fprintf(stderr,
@@ -320,6 +398,97 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--shards: %s\n", valid.ToString().c_str());
       return 2;
     }
+  }
+
+  // ---- Client probe mode: exercise a running --serve process end to end.
+  if (client_mode) {
+    if (positionals.size() > 1) {
+      Usage(argv[0], stderr);
+      return 2;
+    }
+    const std::string probe_method =
+        positionals.empty() ? "precrec-corr" : positionals[0];
+    std::string host = "127.0.0.1";
+    std::string port_str = client_addr;
+    const size_t colon = client_addr.rfind(':');
+    if (colon != std::string::npos) {
+      host = client_addr.substr(0, colon);
+      port_str = client_addr.substr(colon + 1);
+    }
+    size_t port = 0;
+    if (!ParseSizeT(port_str, &port) || port == 0 || port > 65535) {
+      std::fprintf(stderr, "bad port in: --client=%s\n", client_addr.c_str());
+      return 2;
+    }
+    net::FusionClient client;
+    Status connected = client.Connect(host, static_cast<uint16_t>(port));
+    if (!connected.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   connected.ToString().c_str());
+      return 1;
+    }
+    auto stats = client.Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "connected to %s:%zu: snapshot %llu, %llu triples, %llu sources, "
+        "%llu shards\n",
+        host.c_str(), port,
+        static_cast<unsigned long long>(stats->snapshot_id),
+        static_cast<unsigned long long>(stats->num_triples),
+        static_cast<unsigned long long>(stats->num_sources),
+        static_cast<unsigned long long>(stats->num_shards));
+    const size_t probe_n =
+        static_cast<size_t>(std::min<uint64_t>(8, stats->num_triples));
+    std::string scores_json = "[";
+    bool score_matches_batch = true;
+    if (probe_n > 0) {
+      std::vector<TripleId> ids(probe_n);
+      std::iota(ids.begin(), ids.end(), 0);
+      auto batch = client.ScoreBatch(probe_method, ids);
+      if (!batch.ok()) {
+        std::fprintf(stderr, "probe ScoreBatch(%s) failed: %s\n",
+                     probe_method.c_str(),
+                     batch.status().ToString().c_str());
+        return 1;
+      }
+      auto one = client.Score(probe_method, ids[0]);
+      if (!one.ok()) {
+        std::fprintf(stderr, "probe Score(%s) failed: %s\n",
+                     probe_method.c_str(), one.status().ToString().c_str());
+        return 1;
+      }
+      score_matches_batch = one->score == batch->scores[0];
+      for (size_t i = 0; i < batch->scores.size(); ++i) {
+        if (i > 0) scores_json += ", ";
+        scores_json += JsonNum(batch->scores[i]);
+        std::printf("  triple %zu: %.6f\n", i, batch->scores[i]);
+      }
+      if (!score_matches_batch) {
+        std::fprintf(stderr,
+                     "probe failed: Score and ScoreBatch disagree on "
+                     "triple 0\n");
+        return 1;
+      }
+    }
+    scores_json += "]";
+    std::printf(
+        "{\"fuser_cli\": {\"client\": true, \"host\": \"%s\", "
+        "\"port\": %zu, \"method\": \"%s\", \"snapshot_id\": %llu, "
+        "\"triples\": %llu, \"sources\": %llu, \"shards\": %llu, "
+        "\"requests_served\": %llu, \"probe_scores\": %s, "
+        "\"score_matches_batch\": %s}}\n",
+        host.c_str(), port, probe_method.c_str(),
+        static_cast<unsigned long long>(stats->snapshot_id),
+        static_cast<unsigned long long>(stats->num_triples),
+        static_cast<unsigned long long>(stats->num_sources),
+        static_cast<unsigned long long>(stats->num_shards),
+        static_cast<unsigned long long>(stats->requests_served),
+        scores_json.c_str(), score_matches_batch ? "true" : "false");
+    return 0;
   }
 
   // ---- Discovery mode: rank pairwise source correlations, no fusion.
@@ -459,11 +628,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (positionals.size() != (load_mode ? 1u : 3u)) {
+  // --serve takes no method: the serving lineup is whatever PublishSnapshot
+  // materialized into the warm-start file.
+  if (positionals.size() != (serve_mode ? 0u : (load_mode ? 1u : 3u))) {
     Usage(argv[0], stderr);
     return 2;
   }
-  const std::string method = load_mode ? positionals[0] : positionals[2];
+  const std::string method =
+      serve_mode ? "" : (load_mode ? positionals[0] : positionals[2]);
   if (method == "runall") runall = true;
 
   // Resolve the lineup before touching any file: one named method, or
@@ -473,7 +645,7 @@ int main(int argc, char** argv) {
   // replaces its kind's default entry in the lineup (e.g. `elastic-5
   // --runall` runs the lineup with elastic at level 5).
   std::vector<MethodSpec> specs;
-  if (method != "runall") {
+  if (method != "runall" && !serve_mode) {
     auto spec = ParseMethodSpec(method);
     if (!spec.ok()) {
       std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
@@ -572,6 +744,53 @@ int main(int argc, char** argv) {
     std::printf("loaded: %zu sources, %zu triples, %zu labeled (%zu true)\n",
                 owned_dataset->num_sources(), owned_dataset->num_triples(),
                 owned_dataset->num_labeled(), owned_dataset->num_true());
+  }
+
+  // ---- Serve mode: front the warm-started engine(s) with the TCP server
+  // and run until SIGTERM/SIGINT, then drain and report.
+  if (serve_mode) {
+    std::unique_ptr<FusionService> service;
+    std::unique_ptr<ShardedFusionService> sharded_service;
+    std::unique_ptr<net::ScoringBackend> backend;
+    if (sharded_engine != nullptr) {
+      sharded_service =
+          std::make_unique<ShardedFusionService>(sharded_engine.get());
+      backend = std::make_unique<net::ShardedServiceBackend>(
+          sharded_service.get(), sharded_engine->num_shards());
+    } else {
+      service = std::make_unique<FusionService>(engine.get());
+      backend = std::make_unique<net::ServiceBackend>(service.get());
+    }
+    net::FusionServerOptions server_options;
+    server_options.port = static_cast<uint16_t>(serve_port);
+    if (options.num_threads > 0) {
+      server_options.num_workers = options.num_threads;
+    }
+    net::FusionServer server(backend.get(), server_options);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "serve failed: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    // Scripts wait for this line (and parse the ephemeral port from it).
+    std::printf("listening on port %u\n", server.port());
+    std::fflush(stdout);
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    while (g_stop_requested == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.Stop();
+    const net::ServerCounters counters = server.counters();
+    std::printf(
+        "{\"fuser_cli\": {\"serve\": true, \"port\": %u, \"shards\": %zu, "
+        "\"connections_accepted\": %llu, \"requests_served\": %llu, "
+        "\"errors_sent\": %llu}}\n",
+        server.port(), shards,
+        static_cast<unsigned long long>(counters.connections_accepted),
+        static_cast<unsigned long long>(counters.requests_served),
+        static_cast<unsigned long long>(counters.errors_sent));
+    return 0;
   }
 
   DynamicBitset eval = owned_dataset->labeled_mask();

@@ -50,6 +50,11 @@ RATIO_METRICS = {
     # mmap attach vs bulk copy-load of the same file, one process; the
     # columnar-vs-legacy footprint ratio is layout-determined and stable.
     "memory": {"attach_speedup": 2.0, "memory_reduction": None},
+    # network_qps / inprocess_qps, both measured in the same process on the
+    # same workload — machine-independent like the other ratios, but
+    # loopback scheduling makes it noisier, hence the wide tolerance.
+    # rtt_p50_us / rtt_p99_us / qps are absolute -> reported, not gated.
+    "network": {"qps_ratio": 4.0},
 }
 
 # bench name -> {metric: max growth factor}. These are deterministic
@@ -74,6 +79,8 @@ BOOL_METRICS = {
     ],
     "sharding": ["scores_identical"],
     "memory": ["scores_identical", "attach_ms_bound_ok"],
+    # Every networked response byte-identical to the in-process engine.
+    "network": ["responses_identical"],
 }
 
 

@@ -1,0 +1,270 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+#include "persist/binary_io.h"
+
+namespace fuser {
+namespace net {
+
+using persist::ByteSink;
+using persist::ByteSource;
+using persist::Checksum64;
+using persist::LoadU32LE;
+using persist::LoadU64LE;
+
+std::string EncodeFrame(MessageType type, const std::string& payload) {
+  ByteSink sink;
+  sink.WriteU32(kWireMagic);
+  sink.WriteU32(kWireVersion);
+  sink.WriteU32(static_cast<uint32_t>(type));
+  sink.WriteU32(static_cast<uint32_t>(payload.size()));
+  sink.WriteU64(Checksum64(payload.data(), payload.size()));
+  sink.WriteRaw(payload.data(), payload.size());
+  return sink.data();
+}
+
+void FrameReader::Append(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+StatusOr<bool> FrameReader::Next(WireFrame* frame) {
+  if (!failed_.ok()) return failed_;
+  // Reclaim consumed prefix before it grows without bound under pipelining.
+  if (consumed_ > 0 && (consumed_ >= buffer_.size() || consumed_ > 65536)) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const uint8_t* base =
+      reinterpret_cast<const uint8_t*>(buffer_.data()) + consumed_;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return false;
+  const uint32_t magic = LoadU32LE(base);
+  if (magic != kWireMagic) {
+    failed_ = Status::InvalidArgument("bad frame magic (not a fuser peer?)");
+    return failed_;
+  }
+  const uint32_t version = LoadU32LE(base + 4);
+  if (version != kWireVersion) {
+    failed_ = Status::InvalidArgument(
+        StrFormat("unsupported wire version %u (expected %u)", version,
+                  kWireVersion));
+    return failed_;
+  }
+  const uint32_t type = LoadU32LE(base + 8);
+  const uint32_t length = LoadU32LE(base + 12);
+  if (length > max_payload_bytes_) {
+    failed_ = Status::InvalidArgument(
+        StrFormat("frame payload of %u bytes exceeds the %zu-byte cap",
+                  length, max_payload_bytes_));
+    return failed_;
+  }
+  if (available < kFrameHeaderBytes + length) return false;
+  const uint64_t expected_checksum = LoadU64LE(base + 16);
+  const uint8_t* payload = base + kFrameHeaderBytes;
+  if (Checksum64(payload, length) != expected_checksum) {
+    failed_ = Status::InvalidArgument("frame payload failed its checksum");
+    return failed_;
+  }
+  frame->type = static_cast<MessageType>(type);
+  frame->payload.assign(reinterpret_cast<const char*>(payload), length);
+  consumed_ += kFrameHeaderBytes + length;
+  return true;
+}
+
+namespace {
+
+/// Every Decode must consume the payload exactly: the frame length is
+/// authoritative, so trailing bytes mean an encoder/decoder mismatch.
+Status FinishDecode(const ByteSource& source) {
+  if (!source.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after message payload");
+  }
+  return Status::OK();
+}
+
+Status ReadIdVector(ByteSource* source, std::vector<uint32_t>* out) {
+  size_t count = 0;
+  FUSER_RETURN_IF_ERROR(source->ReadCount(4, &count));
+  out->resize(count);
+  return source->ReadU32Array(out->data(), count);
+}
+
+}  // namespace
+
+std::string ScoreRequest::Encode() const {
+  ByteSink sink;
+  sink.WriteU64(request_id);
+  sink.WriteString(method);
+  sink.WriteU32(triple);
+  return sink.data();
+}
+
+Status ScoreRequest::Decode(const std::string& payload) {
+  ByteSource source(payload.data(), payload.size());
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&request_id));
+  FUSER_RETURN_IF_ERROR(source.ReadString(&method));
+  FUSER_RETURN_IF_ERROR(source.ReadU32(&triple));
+  return FinishDecode(source);
+}
+
+std::string ScoreBatchRequest::Encode() const {
+  ByteSink sink;
+  sink.WriteU64(request_id);
+  sink.WriteString(method);
+  sink.WriteU64(triples.size());
+  for (TripleId t : triples) sink.WriteU32(t);
+  return sink.data();
+}
+
+Status ScoreBatchRequest::Decode(const std::string& payload) {
+  ByteSource source(payload.data(), payload.size());
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&request_id));
+  FUSER_RETURN_IF_ERROR(source.ReadString(&method));
+  FUSER_RETURN_IF_ERROR(ReadIdVector(&source, &triples));
+  return FinishDecode(source);
+}
+
+std::string ScoreObservationRequest::Encode() const {
+  ByteSink sink;
+  sink.WriteU64(request_id);
+  sink.WriteString(method);
+  sink.WriteU64(providers.size());
+  for (SourceId s : providers) sink.WriteU32(s);
+  sink.WriteU64(in_scope.size());
+  for (SourceId s : in_scope) sink.WriteU32(s);
+  return sink.data();
+}
+
+Status ScoreObservationRequest::Decode(const std::string& payload) {
+  ByteSource source(payload.data(), payload.size());
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&request_id));
+  FUSER_RETURN_IF_ERROR(source.ReadString(&method));
+  FUSER_RETURN_IF_ERROR(ReadIdVector(&source, &providers));
+  FUSER_RETURN_IF_ERROR(ReadIdVector(&source, &in_scope));
+  return FinishDecode(source);
+}
+
+std::string StatsRequest::Encode() const {
+  ByteSink sink;
+  sink.WriteU64(request_id);
+  return sink.data();
+}
+
+Status StatsRequest::Decode(const std::string& payload) {
+  ByteSource source(payload.data(), payload.size());
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&request_id));
+  return FinishDecode(source);
+}
+
+std::string ScoreReply::Encode() const {
+  ByteSink sink;
+  sink.WriteU64(request_id);
+  sink.WriteU64(snapshot_id);
+  sink.WriteDouble(score);
+  return sink.data();
+}
+
+Status ScoreReply::Decode(const std::string& payload) {
+  ByteSource source(payload.data(), payload.size());
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&request_id));
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&snapshot_id));
+  FUSER_RETURN_IF_ERROR(source.ReadDouble(&score));
+  return FinishDecode(source);
+}
+
+std::string ScoreBatchReply::Encode() const {
+  ByteSink sink;
+  sink.WriteU64(request_id);
+  sink.WriteU64(snapshot_id);
+  sink.WriteU64(scores.size());
+  for (double s : scores) sink.WriteDouble(s);
+  return sink.data();
+}
+
+Status ScoreBatchReply::Decode(const std::string& payload) {
+  ByteSource source(payload.data(), payload.size());
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&request_id));
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&snapshot_id));
+  size_t count = 0;
+  FUSER_RETURN_IF_ERROR(source.ReadCount(8, &count));
+  scores.resize(count);
+  FUSER_RETURN_IF_ERROR(source.ReadDoubleArray(scores.data(), count));
+  return FinishDecode(source);
+}
+
+std::string StatsReply::Encode() const {
+  ByteSink sink;
+  sink.WriteU64(request_id);
+  sink.WriteU64(snapshot_id);
+  sink.WriteU64(dataset_version);
+  sink.WriteU64(num_triples);
+  sink.WriteU64(num_sources);
+  sink.WriteU64(num_shards);
+  sink.WriteU64(requests_served);
+  return sink.data();
+}
+
+Status StatsReply::Decode(const std::string& payload) {
+  ByteSource source(payload.data(), payload.size());
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&request_id));
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&snapshot_id));
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&dataset_version));
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&num_triples));
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&num_sources));
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&num_shards));
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&requests_served));
+  return FinishDecode(source);
+}
+
+std::string ErrorReply::Encode() const {
+  ByteSink sink;
+  sink.WriteU64(request_id);
+  sink.WriteU32(code);
+  sink.WriteBool(fatal);
+  sink.WriteString(message);
+  return sink.data();
+}
+
+Status ErrorReply::Decode(const std::string& payload) {
+  ByteSource source(payload.data(), payload.size());
+  FUSER_RETURN_IF_ERROR(source.ReadU64(&request_id));
+  FUSER_RETURN_IF_ERROR(source.ReadU32(&code));
+  FUSER_RETURN_IF_ERROR(source.ReadBool(&fatal));
+  FUSER_RETURN_IF_ERROR(source.ReadString(&message));
+  return FinishDecode(source);
+}
+
+Status ErrorReply::ToStatus() const {
+  StatusCode status_code = static_cast<StatusCode>(code);
+  switch (status_code) {
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kInternal:
+    case StatusCode::kUnimplemented:
+    case StatusCode::kIoError:
+    case StatusCode::kAlreadyExists:
+      break;
+    default:
+      status_code = StatusCode::kInternal;
+  }
+  if (status_code == StatusCode::kOk) status_code = StatusCode::kInternal;
+  return Status(status_code, StrFormat("server error: %s", message.c_str()));
+}
+
+ErrorReply ErrorReply::FromStatus(uint64_t request_id, const Status& status,
+                                  bool fatal) {
+  ErrorReply reply;
+  reply.request_id = request_id;
+  reply.code = static_cast<uint32_t>(status.code());
+  reply.fatal = fatal;
+  reply.message = status.message();
+  return reply;
+}
+
+}  // namespace net
+}  // namespace fuser

@@ -7,10 +7,7 @@ uint64_t Checksum64(const void* data, size_t size, uint64_t seed) {
   return HashBytes64(data, size, seed);
 }
 
-namespace {
-
-/// Decodes one little-endian u32/u64 at `p` (bounds already checked).
-inline uint32_t DecodeU32(const uint8_t* p) {
+uint32_t LoadU32LE(const void* p) {
   uint32_t v = 0;
   std::memcpy(&v, p, 4);
 #if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
@@ -19,7 +16,7 @@ inline uint32_t DecodeU32(const uint8_t* p) {
   return v;
 }
 
-inline uint64_t DecodeU64(const uint8_t* p) {
+uint64_t LoadU64LE(const void* p) {
   uint64_t v = 0;
   std::memcpy(&v, p, 8);
 #if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
@@ -27,6 +24,11 @@ inline uint64_t DecodeU64(const uint8_t* p) {
 #endif
   return v;
 }
+
+namespace {
+
+inline uint32_t DecodeU32(const uint8_t* p) { return LoadU32LE(p); }
+inline uint64_t DecodeU64(const uint8_t* p) { return LoadU64LE(p); }
 
 }  // namespace
 

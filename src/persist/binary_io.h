@@ -30,6 +30,14 @@ namespace persist {
 uint64_t Checksum64(const void* data, size_t size,
                     uint64_t seed = 0xCBF29CE484222325ULL);
 
+/// Decodes one little-endian u32/u64 at `p`. Bounds are the caller's
+/// responsibility — these are the raw primitives shared by ByteSource's
+/// bulk array reads and the network layer's frame-header parsing
+/// (src/net/wire.h), which both peek into a byte stream at known offsets
+/// before committing to consume it.
+uint32_t LoadU32LE(const void* p);
+uint64_t LoadU64LE(const void* p);
+
 /// Append-only little-endian encoder.
 class ByteSink {
  public:

@@ -1,0 +1,551 @@
+// FusionServer end-to-end tests over real loopback sockets: networked
+// answers must be byte-identical to the in-process FusionService (and
+// ShardedFusionService) on the same snapshot; malformed streams must come
+// back as clean error frames (fatal only when stream integrity is lost);
+// a slow-loris peer dripping one byte at a time must neither wedge the
+// event loop nor corrupt framing; clients must be able to reconnect after
+// a server restart; idle connections must be reaped; and Stop() must
+// drain pipelined requests that already reached the server. Runs under
+// ASan/UBSan and TSan in CI, and the whole file repeats under the poll()
+// event loop via the ForcePoll suite.
+#include "net/fusion_server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "model/dataset.h"
+#include "net/fusion_client.h"
+#include "net/scoring_backend.h"
+#include "serving/fusion_service.h"
+#include "shard/sharded_engine.h"
+#include "shard/sharded_service.h"
+#include "synth/generator.h"
+
+namespace fuser {
+namespace net {
+namespace {
+
+std::vector<MethodSpec> ServingLineup() {
+  std::vector<MethodSpec> specs;
+  for (const char* name : {"precrec-corr", "precrec"}) {
+    auto spec = ParseMethodSpec(name);
+    EXPECT_TRUE(spec.ok()) << name;
+    specs.push_back(*spec);
+  }
+  return specs;
+}
+
+std::vector<TripleId> AllTriples(size_t m) {
+  std::vector<TripleId> ids(m);
+  for (size_t t = 0; t < m; ++t) ids[t] = static_cast<TripleId>(t);
+  return ids;
+}
+
+Dataset MakeServingDataset(uint64_t seed) {
+  SyntheticConfig config =
+      MakeIndependentConfig(/*num_sources=*/6, /*num_triples=*/800,
+                            /*fraction_true=*/0.4, /*precision=*/0.7,
+                            /*recall=*/0.4, seed);
+  config.groups_true = {{{0, 1, 2}, 0.8}};
+  auto dataset = GenerateSynthetic(config);
+  EXPECT_TRUE(dataset.ok()) << dataset.status();
+  return std::move(*dataset);
+}
+
+/// Engine + service + backend + running server, on an ephemeral port.
+struct ServerHarness {
+  Dataset dataset;
+  std::unique_ptr<FusionEngine> engine;
+  std::shared_ptr<const FusionSnapshot> snapshot;
+  std::unique_ptr<FusionService> service;
+  std::unique_ptr<ServiceBackend> backend;
+  std::unique_ptr<FusionServer> server;
+
+  explicit ServerHarness(FusionServerOptions options = {},
+                         uint64_t seed = 311)
+      : dataset(MakeServingDataset(seed)) {
+    engine = std::make_unique<FusionEngine>(&dataset, EngineOptions{});
+    EXPECT_TRUE(engine->Prepare(dataset.labeled_mask()).ok());
+    auto published = engine->PublishSnapshot(ServingLineup());
+    EXPECT_TRUE(published.ok()) << published.status();
+    snapshot = *published;
+    service = std::make_unique<FusionService>(engine.get());
+    backend = std::make_unique<ServiceBackend>(service.get());
+    server = std::make_unique<FusionServer>(backend.get(), options);
+    EXPECT_TRUE(server->Start().ok());
+  }
+};
+
+// --- Raw-socket helpers for the adversarial tests (the FusionClient is
+// --- deliberately unable to send malformed bytes).
+
+int RawConnect(uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << strerror(errno);
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void RawWriteAll(int fd, const std::string& bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = write(fd, bytes.data() + written,
+                            bytes.size() - written);
+    ASSERT_GT(n, 0) << strerror(errno);
+    written += static_cast<size_t>(n);
+  }
+}
+
+/// Reads until one frame parses (or 5s of silence / EOF).
+StatusOr<WireFrame> RawReadFrame(int fd, FrameReader* reader) {
+  WireFrame frame;
+  while (true) {
+    auto next = reader->Next(&frame);
+    if (!next.ok()) return next.status();
+    if (*next) return frame;
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    if (poll(&p, 1, 5000) <= 0) return Status::IoError("raw read timed out");
+    char buf[4096];
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n == 0) return Status::IoError("peer closed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(strerror(errno));
+    }
+    reader->Append(buf, static_cast<size_t>(n));
+  }
+}
+
+/// True when the server closes `fd` within 5 seconds.
+bool WaitForEof(int fd) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  char buf[4096];
+  while (std::chrono::steady_clock::now() < deadline) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    if (poll(&p, 1, 100) <= 0) continue;
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n == 0) return true;
+    if (n < 0 && errno != EINTR) return true;  // RST counts as closed
+  }
+  return false;
+}
+
+/// The shared identity check: every networked answer equals the local
+/// FusionService answer on the pinned snapshot, byte for byte.
+void ExpectNetworkMatchesLocal(const ServerHarness& harness,
+                               FusionClient* client) {
+  const std::vector<MethodSpec> specs = ServingLineup();
+  const std::vector<TripleId> all =
+      AllTriples(harness.dataset.num_triples());
+  for (const MethodSpec& spec : specs) {
+    auto local = harness.service->ScoreBatch(*harness.snapshot, spec, all);
+    ASSERT_TRUE(local.ok()) << local.status();
+    auto remote = client->ScoreBatch(spec.Name(), all);
+    ASSERT_TRUE(remote.ok()) << remote.status();
+    EXPECT_EQ(remote->snapshot_id, harness.snapshot->id);
+    ASSERT_EQ(remote->scores.size(), local->size());
+    for (size_t t = 0; t < all.size(); ++t) {
+      ASSERT_EQ(remote->scores[t], (*local)[t])
+          << spec.Name() << " triple " << t;
+    }
+    const auto last = static_cast<TripleId>(all.size() - 1);
+    for (TripleId t : {TripleId{0}, static_cast<TripleId>(last / 2), last}) {
+      auto one = client->Score(spec.Name(), t);
+      ASSERT_TRUE(one.ok()) << one.status();
+      EXPECT_EQ(one->score, (*local)[t]) << spec.Name() << " triple " << t;
+    }
+  }
+  // Ad-hoc observations route through the same snapshot tables.
+  AdHocObservation observation;
+  observation.providers = {0, 3};
+  auto local = harness.service->ScoreObservation(*harness.snapshot, specs[0],
+                                                 observation);
+  ASSERT_TRUE(local.ok()) << local.status();
+  auto remote = client->ScoreObservation(specs[0].Name(),
+                                         observation.providers, {});
+  ASSERT_TRUE(remote.ok()) << remote.status();
+  EXPECT_EQ(remote->score, *local);
+}
+
+TEST(FusionServerTest, NetworkedScoresAreByteIdenticalToLocalService) {
+  ServerHarness harness;
+  FusionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server->port()).ok());
+  ExpectNetworkMatchesLocal(harness, &client);
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->snapshot_id, harness.snapshot->id);
+  EXPECT_EQ(stats->num_triples, harness.dataset.num_triples());
+  EXPECT_EQ(stats->num_sources, harness.dataset.num_sources());
+  EXPECT_EQ(stats->num_shards, 0u);  // unsharded backend
+  EXPECT_GT(stats->requests_served, 0u);
+
+  const ServerCounters counters = harness.server->counters();
+  EXPECT_EQ(counters.connections_accepted, 1u);
+  EXPECT_GT(counters.requests_served, 0u);
+  EXPECT_EQ(counters.errors_sent, 0u);
+}
+
+TEST(FusionServerTest, PipelinedBatchesComeBackInOrderAndIdentical) {
+  ServerHarness harness;
+  FusionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server->port()).ok());
+  const MethodSpec spec = ServingLineup()[0];
+  const auto total = static_cast<TripleId>(harness.dataset.num_triples());
+  std::vector<std::vector<TripleId>> batches;
+  for (TripleId lo = 0; lo + 50 <= total; lo += 50) {
+    std::vector<TripleId> batch;
+    for (TripleId t = lo; t < lo + 50; ++t) batch.push_back(t);
+    batches.push_back(std::move(batch));
+  }
+  auto replies = client.PipelineScoreBatches(spec.Name(), batches);
+  ASSERT_TRUE(replies.ok()) << replies.status();
+  ASSERT_EQ(replies->size(), batches.size());
+  for (size_t b = 0; b < batches.size(); ++b) {
+    auto local =
+        harness.service->ScoreBatch(*harness.snapshot, spec, batches[b]);
+    ASSERT_TRUE(local.ok());
+    ASSERT_EQ((*replies)[b].scores.size(), local->size());
+    for (size_t i = 0; i < local->size(); ++i) {
+      ASSERT_EQ((*replies)[b].scores[i], (*local)[i]) << "batch " << b;
+    }
+  }
+}
+
+TEST(FusionServerTest, ShardedBackendServesIdenticallyBehindTheSameWire) {
+  Dataset dataset = MakeServingDataset(/*seed=*/947);
+  auto sharded = ShardedFusionEngine::Create(dataset, ShardingOptions{4},
+                                             EngineOptions{});
+  ASSERT_TRUE(sharded.ok()) << sharded.status();
+  ASSERT_TRUE((*sharded)->Prepare(dataset.labeled_mask()).ok());
+  const std::vector<MethodSpec> specs = ServingLineup();
+  auto published = (*sharded)->PublishSnapshot(specs);
+  ASSERT_TRUE(published.ok()) << published.status();
+  ShardedFusionService service(sharded->get());
+  ShardedServiceBackend backend(&service, (*sharded)->num_shards());
+  FusionServer server(&backend, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  FusionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  const std::vector<TripleId> all = AllTriples(dataset.num_triples());
+  for (const MethodSpec& spec : specs) {
+    auto local = service.ScoreBatch(**published, spec, all);
+    ASSERT_TRUE(local.ok()) << local.status();
+    auto remote = client.ScoreBatch(spec.Name(), all);
+    ASSERT_TRUE(remote.ok()) << remote.status();
+    EXPECT_EQ(remote->snapshot_id, (*published)->id);
+    ASSERT_EQ(remote->scores.size(), local->size());
+    for (size_t t = 0; t < all.size(); ++t) {
+      ASSERT_EQ(remote->scores[t], (*local)[t])
+          << spec.Name() << " triple " << t;
+    }
+  }
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_shards, 4u);
+  server.Stop();
+}
+
+TEST(FusionServerTest, RequestLevelErrorsKeepTheConnectionServing) {
+  ServerHarness harness;
+  FusionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server->port()).ok());
+
+  // Unknown method.
+  auto unknown = client.Score("no-such-method", 0);
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_TRUE(client.connected());
+
+  // Out-of-range triple.
+  auto out_of_range = client.Score(
+      "precrec", static_cast<TripleId>(harness.dataset.num_triples() + 10));
+  EXPECT_FALSE(out_of_range.ok());
+  EXPECT_TRUE(client.connected());
+
+  // Observation scoring on a method without pattern serving.
+  auto unservable = client.ScoreObservation("precrec", {0, 1}, {});
+  EXPECT_FALSE(unservable.ok());
+  EXPECT_TRUE(client.connected());
+
+  // The connection still answers correctly after every error above.
+  auto good = client.Score("precrec", 0);
+  ASSERT_TRUE(good.ok()) << good.status();
+  auto local = harness.service->Score(*harness.snapshot, ServingLineup()[1],
+                                      0);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(good->score, *local);
+  EXPECT_GE(harness.server->counters().errors_sent, 3u);
+}
+
+TEST(FusionServerTest, UnknownMessageTypeAnswersErrorAndKeepsServing) {
+  ServerHarness harness;
+  const int fd = RawConnect(harness.server->port());
+  StatsRequest ping;
+  ping.request_id = 99;
+  RawWriteAll(fd, EncodeFrame(static_cast<MessageType>(77), ping.Encode()));
+  FrameReader reader;
+  auto frame = RawReadFrame(fd, &reader);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_EQ(frame->type, MessageType::kError);
+  ErrorReply error;
+  ASSERT_TRUE(error.Decode(frame->payload).ok());
+  EXPECT_EQ(error.request_id, 99u);  // id recovered from the payload
+  EXPECT_FALSE(error.fatal);
+
+  // Framing was intact, so the same socket still serves real requests.
+  RawWriteAll(fd, EncodeFrame(MessageType::kStats, ping.Encode()));
+  frame = RawReadFrame(fd, &reader);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->type, MessageType::kStatsReply);
+  close(fd);
+}
+
+TEST(FusionServerTest, StreamCorruptionGetsOneFatalErrorThenClose) {
+  ServerHarness harness;
+  // Not even a frame header: 64 bytes of garbage.
+  {
+    const int fd = RawConnect(harness.server->port());
+    RawWriteAll(fd, std::string(64, 'X'));
+    FrameReader reader;
+    auto frame = RawReadFrame(fd, &reader);
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    ASSERT_EQ(frame->type, MessageType::kError);
+    ErrorReply error;
+    ASSERT_TRUE(error.Decode(frame->payload).ok());
+    EXPECT_TRUE(error.fatal);
+    EXPECT_TRUE(WaitForEof(fd));
+    close(fd);
+  }
+  // A checksum-corrupted but otherwise well-formed frame.
+  {
+    const int fd = RawConnect(harness.server->port());
+    StatsRequest ping;
+    ping.request_id = 1;
+    std::string wire = EncodeFrame(MessageType::kStats, ping.Encode());
+    wire.back() = static_cast<char>(wire.back() ^ 0x01);
+    RawWriteAll(fd, wire);
+    FrameReader reader;
+    auto frame = RawReadFrame(fd, &reader);
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    ASSERT_EQ(frame->type, MessageType::kError);
+    ErrorReply error;
+    ASSERT_TRUE(error.Decode(frame->payload).ok());
+    EXPECT_TRUE(error.fatal);
+    EXPECT_TRUE(WaitForEof(fd));
+    close(fd);
+  }
+  // An oversized length prefix fails on the header alone.
+  {
+    FusionServerOptions options;
+    options.max_payload_bytes = 4096;
+    ServerHarness small(options, /*seed=*/313);
+    const int fd = RawConnect(small.server->port());
+    RawWriteAll(fd, EncodeFrame(MessageType::kScoreBatch,
+                                std::string(8192, 'a')));
+    FrameReader reader;
+    auto frame = RawReadFrame(fd, &reader);
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    ASSERT_EQ(frame->type, MessageType::kError);
+    ErrorReply error;
+    ASSERT_TRUE(error.Decode(frame->payload).ok());
+    EXPECT_TRUE(error.fatal);
+    EXPECT_TRUE(WaitForEof(fd));
+    close(fd);
+  }
+}
+
+TEST(FusionServerTest, SlowLorisSingleByteWritesStillGetAnswered) {
+  ServerHarness harness;
+  const int fd = RawConnect(harness.server->port());
+  ScoreRequest request;
+  request.request_id = 7;
+  request.method = "precrec";
+  request.triple = 5;
+  const std::string wire =
+      EncodeFrame(MessageType::kScore, request.Encode());
+  // One byte at a time, with pauses long enough that the server sees many
+  // partial reads — but far below the idle timeout.
+  for (char byte : wire) {
+    RawWriteAll(fd, std::string(1, byte));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FrameReader reader;
+  auto frame = RawReadFrame(fd, &reader);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  ASSERT_EQ(frame->type, MessageType::kScoreReply);
+  ScoreReply reply;
+  ASSERT_TRUE(reply.Decode(frame->payload).ok());
+  EXPECT_EQ(reply.request_id, 7u);
+  auto local =
+      harness.service->Score(*harness.snapshot, ServingLineup()[1], 5);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(reply.score, *local);
+  close(fd);
+}
+
+TEST(FusionServerTest, IdleConnectionsAreReaped) {
+  FusionServerOptions options;
+  options.idle_timeout_ms = 100;
+  ServerHarness harness(options);
+  const int fd = RawConnect(harness.server->port());
+  // Write nothing; the sweep must close us without affecting the server.
+  EXPECT_TRUE(WaitForEof(fd));
+  close(fd);
+  // A fresh, active client is unaffected by the reaping of the idle one.
+  FusionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server->port()).ok());
+  EXPECT_TRUE(client.Stats().ok());
+}
+
+TEST(FusionServerTest, ClientReconnectsAfterServerRestart) {
+  ServerHarness harness;
+  const uint16_t port = harness.server->port();
+  FusionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  ASSERT_TRUE(client.Score("precrec", 0).ok());
+
+  harness.server->Stop();
+  EXPECT_FALSE(harness.server->running());
+  // The old connection is dead — calls fail instead of hanging.
+  EXPECT_FALSE(client.Score("precrec", 0).ok());
+
+  // Restart on the same port (SO_REUSEADDR) and reconnect with retries.
+  FusionServer second(harness.backend.get(), [port] {
+    FusionServerOptions options;
+    options.port = port;
+    return options;
+  }());
+  ASSERT_TRUE(second.Start().ok());
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  auto reply = client.Score("precrec", 0);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  auto local =
+      harness.service->Score(*harness.snapshot, ServingLineup()[1], 0);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(reply->score, *local);
+  second.Stop();
+}
+
+TEST(FusionServerTest, StopDrainsPipelinedRequestsAlreadyReceived) {
+  FusionServerOptions options;
+  options.num_workers = 1;
+  ServerHarness harness(options);
+  const int fd = RawConnect(harness.server->port());
+  constexpr uint64_t kPipelined = 30;
+  std::string wire;
+  for (uint64_t i = 0; i < kPipelined; ++i) {
+    ScoreBatchRequest request;
+    request.request_id = 100 + i;
+    request.method = "precrec-corr";
+    const auto total = static_cast<TripleId>(harness.dataset.num_triples());
+    for (TripleId t = 0; t < 16; ++t) {
+      request.triples.push_back(static_cast<TripleId>((i * 16 + t) % total));
+    }
+    wire += EncodeFrame(MessageType::kScoreBatch, request.Encode());
+  }
+  RawWriteAll(fd, wire);
+  // Give loopback a moment to land every byte in the server's kernel
+  // buffer; the drain's final read sweep picks them all up.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  harness.server->Stop();
+
+  FrameReader reader;
+  for (uint64_t i = 0; i < kPipelined; ++i) {
+    auto frame = RawReadFrame(fd, &reader);
+    ASSERT_TRUE(frame.ok()) << "reply " << i << ": " << frame.status();
+    ASSERT_EQ(frame->type, MessageType::kScoreBatchReply);
+    ScoreBatchReply reply;
+    ASSERT_TRUE(reply.Decode(frame->payload).ok());
+    EXPECT_EQ(reply.request_id, 100 + i);
+    ASSERT_EQ(reply.scores.size(), 16u);
+  }
+  close(fd);
+}
+
+TEST(FusionServerTest, ManyConcurrentClientsAllGetIdenticalAnswers) {
+  FusionServerOptions options;
+  options.num_workers = 3;
+  ServerHarness harness(options);
+  auto local = harness.service->ScoreBatch(
+      *harness.snapshot, ServingLineup()[0],
+      AllTriples(harness.dataset.num_triples()));
+  ASSERT_TRUE(local.ok());
+  constexpr size_t kClients = 8;
+  std::vector<std::thread> threads;
+  std::vector<Status> failures(kClients, Status::OK());
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      FusionClient client;
+      Status connected = client.Connect("127.0.0.1",
+                                        harness.server->port());
+      if (!connected.ok()) {
+        failures[c] = connected;
+        return;
+      }
+      const auto total =
+          static_cast<TripleId>(harness.dataset.num_triples());
+      for (int round = 0; round < 5; ++round) {
+        std::vector<TripleId> batch;
+        for (TripleId t = static_cast<TripleId>(c); t < total;
+             t += static_cast<TripleId>(kClients)) {
+          batch.push_back(t);
+        }
+        auto remote = client.ScoreBatch("precrec-corr", batch);
+        if (!remote.ok()) {
+          failures[c] = remote.status();
+          return;
+        }
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (remote->scores[i] != (*local)[batch[i]]) {
+            failures[c] = Status::Internal("score mismatch");
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(failures[c].ok()) << "client " << c << ": " << failures[c];
+  }
+  EXPECT_EQ(harness.server->counters().connections_accepted, kClients);
+}
+
+TEST(FusionServerForcePollTest, PollEventLoopServesIdentically) {
+  FusionServerOptions options;
+  options.force_poll = true;
+  ServerHarness harness(options);
+  FusionClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server->port()).ok());
+  ExpectNetworkMatchesLocal(harness, &client);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace fuser

@@ -1,0 +1,278 @@
+// Wire-protocol adversarial coverage: the incremental FrameReader and the
+// message codecs must turn every malformed input — truncations at every
+// byte boundary, flipped payload bytes, oversized length prefixes, bogus
+// magic/version, trailing garbage inside a frame — into a clean Status,
+// never UB (this file runs under ASan/UBSan and TSan in CI like the rest
+// of the suite).
+#include "net/wire.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "persist/binary_io.h"
+
+namespace fuser {
+namespace net {
+namespace {
+
+std::string EncodedScoreRequest() {
+  ScoreRequest request;
+  request.request_id = 42;
+  request.method = "precrec-corr";
+  request.triple = 1234;
+  return EncodeFrame(MessageType::kScore, request.Encode());
+}
+
+TEST(FrameReaderTest, RoundTripsOneFrame) {
+  const std::string wire = EncodedScoreRequest();
+  FrameReader reader;
+  reader.Append(wire.data(), wire.size());
+  WireFrame frame;
+  auto next = reader.Next(&frame);
+  ASSERT_TRUE(next.ok()) << next.status();
+  ASSERT_TRUE(*next);
+  EXPECT_EQ(frame.type, MessageType::kScore);
+  ScoreRequest request;
+  ASSERT_TRUE(request.Decode(frame.payload).ok());
+  EXPECT_EQ(request.request_id, 42u);
+  EXPECT_EQ(request.method, "precrec-corr");
+  EXPECT_EQ(request.triple, 1234u);
+  // Nothing else buffered.
+  next = reader.Next(&frame);
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(*next);
+}
+
+TEST(FrameReaderTest, AssemblesAcrossArbitrarySplits) {
+  // Slow-loris on the parser: every frame byte arrives alone, including
+  // across the header/payload boundary; then three frames arrive fused.
+  const std::string wire = EncodedScoreRequest();
+  FrameReader reader;
+  WireFrame frame;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    reader.Append(wire.data() + i, 1);
+    auto next = reader.Next(&frame);
+    ASSERT_TRUE(next.ok()) << "byte " << i << ": " << next.status();
+    ASSERT_FALSE(*next) << "frame completed early at byte " << i;
+  }
+  reader.Append(wire.data() + wire.size() - 1, 1);
+  auto next = reader.Next(&frame);
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(*next);
+  EXPECT_EQ(frame.type, MessageType::kScore);
+
+  std::string fused = wire + wire + wire;
+  reader.Append(fused.data(), fused.size());
+  for (int i = 0; i < 3; ++i) {
+    next = reader.Next(&frame);
+    ASSERT_TRUE(next.ok());
+    ASSERT_TRUE(*next) << "frame " << i;
+    EXPECT_EQ(frame.type, MessageType::kScore);
+  }
+  next = reader.Next(&frame);
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(*next);
+}
+
+TEST(FrameReaderTest, TruncationAtEveryBoundaryJustWaits) {
+  // A truncated stream is indistinguishable from a slow one: every prefix
+  // must park the reader in "need more", never error, never yield a frame.
+  const std::string wire = EncodedScoreRequest();
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameReader reader;
+    reader.Append(wire.data(), cut);
+    WireFrame frame;
+    auto next = reader.Next(&frame);
+    ASSERT_TRUE(next.ok()) << "cut at " << cut << ": " << next.status();
+    EXPECT_FALSE(*next) << "cut at " << cut;
+  }
+}
+
+TEST(FrameReaderTest, EveryPayloadByteFlipFailsTheChecksum) {
+  const std::string wire = EncodedScoreRequest();
+  for (size_t i = kFrameHeaderBytes; i < wire.size(); ++i) {
+    std::string corrupt = wire;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x40);
+    FrameReader reader;
+    reader.Append(corrupt.data(), corrupt.size());
+    WireFrame frame;
+    auto next = reader.Next(&frame);
+    ASSERT_FALSE(next.ok()) << "flip at payload byte " << i;
+    EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+    // The reader stays failed: the stream is untrusted from here on.
+    next = reader.Next(&frame);
+    EXPECT_FALSE(next.ok());
+  }
+}
+
+TEST(FrameReaderTest, BadMagicAndVersionAreFatal) {
+  std::string wire = EncodedScoreRequest();
+  {
+    std::string corrupt = wire;
+    corrupt[0] = 'X';
+    FrameReader reader;
+    reader.Append(corrupt.data(), corrupt.size());
+    WireFrame frame;
+    auto next = reader.Next(&frame);
+    ASSERT_FALSE(next.ok());
+    EXPECT_NE(next.status().message().find("magic"), std::string::npos);
+  }
+  {
+    std::string corrupt = wire;
+    corrupt[4] = static_cast<char>(99);  // version 99
+    FrameReader reader;
+    reader.Append(corrupt.data(), corrupt.size());
+    WireFrame frame;
+    auto next = reader.Next(&frame);
+    ASSERT_FALSE(next.ok());
+    EXPECT_NE(next.status().message().find("version"), std::string::npos);
+  }
+}
+
+TEST(FrameReaderTest, OversizedLengthPrefixFailsFastWithoutAllocating) {
+  // 0xFFFFFFFF payload length: must error on the header alone instead of
+  // waiting for (or allocating) 4GB.
+  persist::ByteSink sink;
+  sink.WriteU32(kWireMagic);
+  sink.WriteU32(kWireVersion);
+  sink.WriteU32(static_cast<uint32_t>(MessageType::kScore));
+  sink.WriteU32(0xFFFFFFFFu);
+  sink.WriteU64(0);
+  FrameReader reader(/*max_payload_bytes=*/1 << 20);
+  reader.Append(sink.data().data(), sink.data().size());
+  WireFrame frame;
+  auto next = reader.Next(&frame);
+  ASSERT_FALSE(next.ok());
+  EXPECT_NE(next.status().message().find("cap"), std::string::npos);
+}
+
+TEST(FrameReaderTest, UnknownTypePassesThroughForRequestLevelHandling) {
+  // An unknown type with an intact frame is not a parser error — the
+  // server answers kError and keeps the connection (framing is fine).
+  const std::string wire = EncodeFrame(static_cast<MessageType>(77), "abc");
+  FrameReader reader;
+  reader.Append(wire.data(), wire.size());
+  WireFrame frame;
+  auto next = reader.Next(&frame);
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(*next);
+  EXPECT_EQ(static_cast<uint32_t>(frame.type), 77u);
+  EXPECT_EQ(frame.payload, "abc");
+}
+
+template <typename Message>
+void ExpectDecodeFailsOnEveryTruncation(const Message& message) {
+  const std::string payload = message.Encode();
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    Message decoded;
+    Status status = decoded.Decode(payload.substr(0, cut));
+    EXPECT_FALSE(status.ok()) << "cut at " << cut;
+  }
+  Message decoded;
+  EXPECT_TRUE(decoded.Decode(payload).ok());
+  // Trailing garbage is an encoder mismatch, not silently ignored.
+  EXPECT_FALSE(decoded.Decode(payload + "x").ok());
+}
+
+TEST(MessageCodecTest, AllMessagesRejectTruncationAndTrailingBytes) {
+  ScoreRequest score;
+  score.request_id = 7;
+  score.method = "elastic-3";
+  score.triple = 9;
+  ExpectDecodeFailsOnEveryTruncation(score);
+
+  ScoreBatchRequest batch;
+  batch.request_id = 8;
+  batch.method = "precrec";
+  batch.triples = {1, 2, 3, 4, 5};
+  ExpectDecodeFailsOnEveryTruncation(batch);
+
+  ScoreObservationRequest observation;
+  observation.request_id = 9;
+  observation.method = "precrec-corr";
+  observation.providers = {0, 2};
+  observation.in_scope = {0, 1, 2, 3};
+  ExpectDecodeFailsOnEveryTruncation(observation);
+
+  StatsRequest stats;
+  stats.request_id = 10;
+  ExpectDecodeFailsOnEveryTruncation(stats);
+
+  ScoreReply reply;
+  reply.request_id = 11;
+  reply.snapshot_id = 3;
+  reply.score = 0.25;
+  ExpectDecodeFailsOnEveryTruncation(reply);
+
+  ScoreBatchReply batch_reply;
+  batch_reply.request_id = 12;
+  batch_reply.snapshot_id = 4;
+  batch_reply.scores = {0.1, 0.9, 0.5};
+  ExpectDecodeFailsOnEveryTruncation(batch_reply);
+
+  StatsReply stats_reply;
+  stats_reply.request_id = 13;
+  stats_reply.snapshot_id = 5;
+  stats_reply.num_triples = 100;
+  ExpectDecodeFailsOnEveryTruncation(stats_reply);
+
+  ErrorReply error;
+  error.request_id = 14;
+  error.code = static_cast<uint32_t>(StatusCode::kNotFound);
+  error.fatal = true;
+  error.message = "no such method";
+  ExpectDecodeFailsOnEveryTruncation(error);
+}
+
+TEST(MessageCodecTest, DoublesRoundTripByteExactly) {
+  // The serving contract is byte identity; 0.1 has no exact binary form,
+  // so a text round-trip would break this test.
+  ScoreBatchReply reply;
+  reply.request_id = 1;
+  reply.scores = {0.1, 1.0 / 3.0, 2.2250738585072014e-308, 0.0, 1.0};
+  ScoreBatchReply decoded;
+  ASSERT_TRUE(decoded.Decode(reply.Encode()).ok());
+  ASSERT_EQ(decoded.scores.size(), reply.scores.size());
+  for (size_t i = 0; i < reply.scores.size(); ++i) {
+    EXPECT_EQ(decoded.scores[i], reply.scores[i]) << i;
+  }
+}
+
+TEST(MessageCodecTest, CorruptCountFailsFastInsteadOfAllocating) {
+  // A batch request whose element count claims more ids than the payload
+  // holds must fail on the count check, not drive a giant resize.
+  ScoreBatchRequest batch;
+  batch.request_id = 1;
+  batch.method = "precrec";
+  batch.triples = {1, 2, 3};
+  std::string payload = batch.Encode();
+  // The count field sits after id (8) + string length (8) + string bytes.
+  const size_t count_offset = 8 + 8 + batch.method.size();
+  payload[count_offset] = static_cast<char>(0xFF);
+  payload[count_offset + 3] = static_cast<char>(0x7F);
+  ScoreBatchRequest decoded;
+  Status status = decoded.Decode(payload);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(ErrorReplyTest, StatusRoundTrip) {
+  const Status original = Status::NotFound("method 'wat' is not registered");
+  ErrorReply reply = ErrorReply::FromStatus(5, original, /*fatal=*/false);
+  ErrorReply decoded;
+  ASSERT_TRUE(decoded.Decode(reply.Encode()).ok());
+  EXPECT_EQ(decoded.request_id, 5u);
+  EXPECT_FALSE(decoded.fatal);
+  Status status = decoded.ToStatus();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("not registered"), std::string::npos);
+  // A hostile code value maps to Internal instead of UB.
+  decoded.code = 999;
+  EXPECT_EQ(decoded.ToStatus().code(), StatusCode::kInternal);
+  decoded.code = 0;  // "OK" error is a lie; keep it an error
+  EXPECT_EQ(decoded.ToStatus().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace fuser
